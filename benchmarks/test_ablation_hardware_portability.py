@@ -1,0 +1,84 @@
+"""Ablation: do the paper's conclusions survive on consumer hardware?
+
+Repeats the key comparisons on a laptop-class testbed (8-core mobile CPU,
+6 GB mobile GPU).  Framework orderings are hardware-independent (they come
+from implementation quality), but memory-driven effects shift: with 6 GB
+of VRAM, PyG's unfused layers OOM on *medium* graphs too, and even some
+fused workloads stop fitting.
+"""
+
+import gc
+
+from conftest import emit
+
+from repro.bench import format_series
+from repro.errors import OutOfMemoryError
+from repro.frameworks import get_framework
+from repro.hardware.machine import laptop_testbed, paper_testbed
+from repro.kernels.transfer import adj_to_device, to_device
+from repro.tensor.tensor import no_grad
+
+DATASETS = ("ppi", "flickr", "yelp", "reddit")
+
+
+def _conv(machine_factory, fw_name, dataset, kind, device):
+    machine = machine_factory()
+    fw = get_framework(fw_name)
+    fgraph = fw.load(dataset, machine)
+    try:
+        with fw.activate(), no_grad():
+            target = machine.device(device)
+            adj = adj_to_device(fgraph.adj, target, machine.pcie)
+            x = to_device(fgraph.features, target, machine.pcie)
+            conv = fw.conv(kind, fgraph.stats.num_features, 256, seed=0)
+            conv.to(target)
+            start = machine.clock.now
+            conv(adj, x)
+            return machine.clock.now - start
+    except OutOfMemoryError:
+        return "OOM"
+    finally:
+        gc.collect()
+
+
+def test_ablation_hardware_portability(once):
+    def run():
+        out = {}
+        for hw_name, factory in (("server", paper_testbed),
+                                 ("laptop", laptop_testbed)):
+            for fw in ("dglite", "pyglite"):
+                out[f"{hw_name}/gcn-cpu/{fw}"] = {
+                    ds: _conv(factory, fw, ds, "gcn", "cpu") for ds in DATASETS
+                }
+                out[f"{hw_name}/gat-gpu/{fw}"] = {
+                    ds: _conv(factory, fw, ds, "gat", "gpu") for ds in DATASETS
+                }
+        return out
+
+    results = once(run)
+    emit("ablation_hardware_portability",
+         format_series("Ablation: server vs laptop testbed (conv forward)",
+                       results, unit="s", precision=4))
+
+    # Framework ordering is hardware-independent: DGL wins GCN on CPU on
+    # both testbeds, on every dataset.
+    for hw in ("server", "laptop"):
+        for ds in DATASETS:
+            dgl = results[f"{hw}/gcn-cpu/dglite"][ds]
+            pyg = results[f"{hw}/gcn-cpu/pyglite"][ds]
+            assert dgl < pyg, (hw, ds)
+
+    # The laptop is slower in absolute terms.
+    for ds in DATASETS:
+        assert (results["laptop/gcn-cpu/dglite"][ds]
+                > results["server/gcn-cpu/dglite"][ds]), ds
+
+    # Memory effects shift with VRAM: on the server PyG's GAT fits yelp
+    # (14 GiB < 48 GiB); on the 6 GiB laptop it OOMs.
+    assert results["server/gat-gpu/pyglite"]["yelp"] != "OOM"
+    assert results["laptop/gat-gpu/pyglite"]["yelp"] == "OOM"
+    # Reddit's E x heads scores OOM even DGL's fused GAT at 6 GiB? No —
+    # scores are small; DGL still fits everywhere on the laptop.
+    for ds in DATASETS:
+        value = results["laptop/gat-gpu/dglite"][ds]
+        assert value != "OOM", ds

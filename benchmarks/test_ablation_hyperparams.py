@@ -1,0 +1,83 @@
+"""Ablation: sampler hyperparameters.
+
+The paper notes "the choices of hyperparameters can affect the sampling
+performance" (Observation 2 discussion) without quantifying.  This bench
+sweeps the three samplers' knobs on one dataset.
+"""
+
+from conftest import emit
+
+from repro.bench import format_series, measure_sampler_epoch
+from repro.frameworks import get_framework
+from repro.hardware.machine import paper_testbed
+
+DATASET = "reddit"
+
+
+def _neighbor_epoch(fanouts, batch_size) -> float:
+    machine = paper_testbed()
+    fw = get_framework("dglite")
+    fgraph = fw.load(DATASET, machine)
+    sampler = fw.neighbor_sampler(fgraph, fanouts=fanouts,
+                                  batch_size=batch_size, seed=0)
+    batches = sampler.num_batches()
+    start = machine.clock.now
+    iterator = iter(sampler.epoch())
+    ran = 0
+    for _ in range(min(3, batches)):
+        if next(iterator, None) is None:
+            break
+        ran += 1
+    return (machine.clock.now - start) * batches / max(1, ran)
+
+
+def _saint_epoch(num_roots, walk_length) -> float:
+    machine = paper_testbed()
+    fw = get_framework("dglite")
+    fgraph = fw.load(DATASET, machine)
+    sampler = fw.saint_sampler(fgraph, num_roots=num_roots,
+                               walk_length=walk_length, seed=0)
+    batches = sampler.num_batches()
+    start = machine.clock.now
+    iterator = iter(sampler.epoch())
+    ran = 0
+    for _ in range(min(3, batches)):
+        if next(iterator, None) is None:
+            break
+        ran += 1
+    return (machine.clock.now - start) * batches / max(1, ran)
+
+
+def test_ablation_sampler_hyperparams(once):
+    def run():
+        neighbor = {
+            "fanout-10/5": _neighbor_epoch((10, 5), 512),
+            "fanout-25/10": _neighbor_epoch((25, 10), 512),
+            "fanout-50/20": _neighbor_epoch((50, 20), 512),
+            "batch-128": _neighbor_epoch((25, 10), 128),
+            "batch-2048": _neighbor_epoch((25, 10), 2048),
+        }
+        saint = {
+            "roots-1500": _saint_epoch(1500, 2),
+            "roots-3000": _saint_epoch(3000, 2),
+            "roots-6000": _saint_epoch(6000, 2),
+            "walk-4": _saint_epoch(3000, 4),
+        }
+        return neighbor, saint
+
+    neighbor, saint = once(run)
+    emit("ablation_hyperparams",
+         format_series(f"Ablation: sampler hyperparameters on {DATASET}",
+                       {"neighbor": neighbor, "saint_rw": saint}, unit="s"))
+
+    # Bigger fanouts cost more per epoch.
+    assert neighbor["fanout-10/5"] < neighbor["fanout-25/10"] < neighbor["fanout-50/20"]
+    # Smaller batches mean more per-batch overhead for the same coverage.
+    assert neighbor["batch-128"] > neighbor["batch-2048"]
+    # SAINT: more roots per batch -> fewer batches; per-epoch cost is
+    # roughly flat (coverage-bound), within 3x across a 4x roots sweep.
+    ratio = max(saint["roots-1500"], saint["roots-6000"]) / min(
+        saint["roots-1500"], saint["roots-6000"])
+    assert ratio < 3.0
+    # Longer walks touch more nodes per batch.
+    assert saint["walk-4"] > saint["roots-3000"] * 0.8

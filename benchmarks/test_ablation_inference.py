@@ -1,0 +1,59 @@
+"""Ablation: layer-wise inference cost (excluded from the paper's scope).
+
+Quantifies what Section 4.1 set aside: the cost of inferring over the full
+graph with the trained GraphSAGE, CPU vs GPU, both frameworks.  Unlike
+training, inference has no sampling phase — on GPU its bottleneck is the
+per-layer feature streaming over PCIe.
+"""
+
+from conftest import emit
+
+from repro.bench import format_series
+from repro.frameworks import get_framework
+from repro.hardware.machine import paper_testbed
+from repro.models.graphsage import build_graphsage
+from repro.models.inference import layerwise_inference
+
+DATASETS = ("ppi", "flickr", "reddit")
+
+
+def _run(fw_name: str, dataset: str, device: str):
+    machine = paper_testbed()
+    fw = get_framework(fw_name)
+    fgraph = fw.load(dataset, machine)
+    net = build_graphsage(fw, fgraph, dropout=0.0, seed=0)
+    if device == "gpu":
+        net.to(machine.gpu, link=machine.pcie)
+    return layerwise_inference(fw, fgraph, net, device=device)
+
+
+def test_ablation_inference(once):
+    def run():
+        return {
+            f"{fw}/{device}": {ds: _run(fw, ds, device) for ds in DATASETS}
+            for fw in ("dglite", "pyglite")
+            for device in ("cpu", "gpu")
+        }
+
+    results = once(run)
+    series = {
+        key: {ds: r.total_time for ds, r in row.items()}
+        for key, row in results.items()
+    }
+    emit("ablation_inference",
+         format_series("Ablation: layer-wise full-graph inference (GraphSAGE)",
+                       series, unit="s"))
+
+    # DGL's fused CPU kernels win inference like they win training.
+    for ds in DATASETS:
+        assert (results["dglite/cpu"][ds].total_time
+                < results["pyglite/cpu"][ds].total_time), ds
+
+    # GPU inference on the big graph is movement-bound, not compute-bound.
+    reddit_gpu = results["dglite/gpu"]["reddit"]
+    assert (reddit_gpu.phases["data_movement"]
+            > reddit_gpu.phases["training"])
+
+    # GPU still beats CPU end-to-end on the big dense graph.
+    assert (results["dglite/gpu"]["reddit"].total_time
+            < results["dglite/cpu"]["reddit"].total_time)

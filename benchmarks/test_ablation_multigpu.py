@@ -1,0 +1,64 @@
+"""Ablation: multi-GPU data-parallel scaling (extension).
+
+The paper's related work cites distributed GNN-training characterizations
+(Lin et al. 2022); this bench runs synchronous data-parallel GraphSAGE on
+1/2/4/8 simulated RTX 8000s and shows the scaling wall the paper's
+Observation 4 predicts: compute parallelizes, the host-side sampler and
+the shared PCIe link do not.
+"""
+
+from conftest import emit
+
+from repro.bench import format_series
+from repro.distributed import DataParallelTrainer, multi_gpu_testbed
+from repro.frameworks import get_framework
+from repro.models.graphsage import build_graphsage, graphsage_sampler
+
+GPUS = (1, 2, 4, 8)
+DATASET = "reddit"
+
+
+def _run(k: int):
+    machine = multi_gpu_testbed(k)
+    fw = get_framework("dglite")
+    fgraph = fw.load(DATASET, machine)
+    sampler = graphsage_sampler(fw, fgraph, seed=0)
+    net = build_graphsage(fw, fgraph, seed=0)
+    trainer = DataParallelTrainer(fw, fgraph, sampler, net, epochs=3,
+                                  representative_steps=2)
+    return trainer.run()
+
+
+def test_ablation_multigpu_scaling(once):
+    results = once(lambda: {k: _run(k) for k in GPUS})
+
+    base = results[1]
+    series = {
+        f"{k}-gpu": {
+            "total_s": r.total_time,
+            "speedup": base.total_time / r.total_time,
+            "sampling_s": r.phases.get("sampling", 0.0),
+            "training_s": r.phases.get("training", 0.0),
+            "energy_kJ": r.total_energy / 1000.0,
+        }
+        for k, r in results.items()
+    }
+    emit("ablation_multigpu",
+         format_series(f"Ablation: data-parallel GraphSAGE scaling on {DATASET}",
+                       series, unit="mixed", precision=2))
+
+    # Compute scales: the training phase shrinks roughly with GPU count.
+    assert results[8].phases["training"] < results[1].phases["training"] / 4
+
+    # But the end-to-end speedup stalls far below linear — the CPU
+    # sampler and the shared PCIe link serialize (Amdahl via Obs 4).
+    speedup_8 = base.total_time / results[8].total_time
+    assert speedup_8 < 2.0, f"8-GPU speedup {speedup_8:.2f}x should be sub-2x"
+    assert results[8].phases["sampling"] > 0.7 * base.phases["sampling"]
+
+    # More replicas, more joules: energy rises monotonically with k.
+    energies = [results[k].total_energy for k in GPUS]
+    assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    # Throughput per GPU degrades: 8 GPUs are < 8x as useful as one.
+    assert speedup_8 / 8 < 0.25

@@ -1,0 +1,58 @@
+"""Ablation: parallel sampling workers (DGL/PyG dataloader num_workers).
+
+Observation 4 says sampling needs optimization; both real frameworks ship
+worker pools for exactly that.  This bench sweeps worker counts and shows
+(a) sampling time collapsing sublinearly and (b) the total approaching the
+compute+movement floor — the fix for the scaling wall the multi-GPU
+ablation exposes.
+"""
+
+from conftest import emit
+
+from repro.bench import format_series, run_training_experiment
+
+WORKERS = (0, 2, 4, 8)
+RUN = dict(epochs=5, representative_batches=2, placement="cpugpu")
+DATASET = "reddit"
+
+
+def test_ablation_sampling_workers(once):
+    def run():
+        out = {}
+        for fw in ("dglite", "pyglite"):
+            for w in WORKERS:
+                out[(fw, w)] = run_training_experiment(
+                    fw, DATASET, "graphsage", num_workers=w, **RUN)
+        return out
+
+    results = once(run)
+    series = {
+        f"{fw}/workers-{w}": {
+            "sampling_s": r.phases.get("sampling", 0.0),
+            "total_s": r.total_time,
+            "speedup": results[(fw, 0)].total_time / r.total_time,
+        }
+        for (fw, w), r in results.items()
+    }
+    emit("ablation_sampling_workers",
+         format_series(f"Ablation: sampler worker pool on {DATASET} "
+                       "(GraphSAGE, CPUGPU)", series, unit="mixed",
+                       precision=2))
+
+    for fw in ("dglite", "pyglite"):
+        sampling = [results[(fw, w)].phases["sampling"] for w in WORKERS]
+        # monotone improvement with workers
+        assert all(a >= b * 0.999 for a, b in zip(sampling, sampling[1:])), fw
+        # sublinear: 8 workers buy less than 8x
+        assert sampling[0] / sampling[-1] < 8.0, fw
+        # and the total improves accordingly
+        assert (results[(fw, 8)].total_time
+                < results[(fw, 0)].total_time), fw
+
+    # The worker pool matters most where sampling dominates: PyG gains a
+    # larger total-time factor than DGL.
+    pyg_gain = (results[("pyglite", 0)].total_time
+                / results[("pyglite", 8)].total_time)
+    dgl_gain = (results[("dglite", 0)].total_time
+                / results[("dglite", 8)].total_time)
+    assert pyg_gain > dgl_gain

@@ -1,0 +1,25 @@
+"""Figure 3: runtime of the data loader, DGL vs PyG, all six datasets."""
+
+from conftest import DATASETS, FRAMEWORKS, emit
+
+from repro.bench import format_series, measure_data_loader
+
+
+def test_fig03_data_loader(once):
+    def run():
+        return {
+            fw: {ds: measure_data_loader(fw, ds) for ds in DATASETS}
+            for fw in FRAMEWORKS
+        }
+
+    results = once(run)
+    emit("fig03_data_loader",
+         format_series("Figure 3: data loader runtime", results, unit="s"))
+
+    # Observation 1: PyG's loader is more efficient on every dataset.
+    for ds in DATASETS:
+        assert results["pyglite"][ds] < results["dglite"][ds], ds
+
+    # Loading cost grows with dataset size within each framework.
+    for fw in FRAMEWORKS:
+        assert results[fw]["ogbn-products"] > results[fw]["ppi"]

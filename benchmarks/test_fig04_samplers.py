@@ -1,0 +1,50 @@
+"""Figure 4: per-epoch runtime of the three graph samplers."""
+
+from conftest import DATASETS, FRAMEWORKS, emit
+
+from repro.bench import format_series, measure_sampler_epoch
+
+SAMPLERS = ("neighbor", "cluster", "saint_rw")
+LABELS = {"neighbor": "GraphSAGE", "cluster": "ClusterGCN", "saint_rw": "GraphSAINT"}
+
+
+def test_fig04_samplers(once):
+    def run():
+        out = {}
+        for sampler in SAMPLERS:
+            for fw in FRAMEWORKS:
+                row = {}
+                for ds in DATASETS:
+                    row[ds] = measure_sampler_epoch(fw, ds, sampler)["epoch"]
+                out[f"{LABELS[sampler]}/{fw}"] = row
+        return out
+
+    results = once(run)
+    emit("fig04_samplers",
+         format_series("Figure 4: sampler runtime per epoch", results, unit="s"))
+
+    # Observation 2: every DGL sampler beats its PyG counterpart, on
+    # every dataset.
+    for sampler in SAMPLERS:
+        for ds in DATASETS:
+            dgl = results[f"{LABELS[sampler]}/dglite"][ds]
+            pyg = results[f"{LABELS[sampler]}/pyglite"][ds]
+            assert dgl < pyg, (sampler, ds)
+
+    # The gap is smallest for GraphSAINT (computationally cheapest).
+    def mean_ratio(sampler):
+        vals = [
+            results[f"{LABELS[sampler]}/pyglite"][ds]
+            / results[f"{LABELS[sampler]}/dglite"][ds]
+            for ds in DATASETS
+        ]
+        return sum(vals) / len(vals)
+
+    ratios = {s: mean_ratio(s) for s in SAMPLERS}
+    assert ratios["saint_rw"] == min(ratios.values())
+
+    # GraphSAINT is the fastest sampler overall (per framework, per dataset).
+    for fw in FRAMEWORKS:
+        for ds in DATASETS:
+            times = {s: results[f"{LABELS[s]}/{fw}"][ds] for s in SAMPLERS}
+            assert times["saint_rw"] == min(times.values()), (fw, ds)

@@ -1,0 +1,80 @@
+"""Figure 5: one-forward-pass runtime of eight conv layers, CPU and GPU.
+
+Output dimension fixed at 256 (paper setting).  'OOM' entries reproduce
+PyG's out-of-memory failures for its unfused ChebConv/GATConv/GATv2Conv on
+the largest graphs (48 GB VRAM / 64 GB host at paper scale).
+"""
+
+from conftest import DATASETS, FRAMEWORKS, emit
+
+from repro.bench import format_series, measure_conv_forward
+
+KINDS = ("gcn", "gcn2", "cheb", "sage", "gat", "gatv2", "tag", "sg")
+PYG_UNFUSED = ("cheb", "gat", "gatv2")
+BIG_GRAPHS = ("reddit", "ogbn-products")
+
+
+def _cell(result):
+    return "OOM" if result.oom else result.phases["forward"]
+
+
+def test_fig05_conv_layers(once):
+    def run():
+        out = {}
+        for device in ("cpu", "gpu"):
+            for kind in KINDS:
+                for fw in FRAMEWORKS:
+                    row = {}
+                    for ds in DATASETS:
+                        row[ds] = _cell(measure_conv_forward(fw, ds, kind,
+                                                             device=device))
+                    out[f"{device}/{kind}/{fw}"] = row
+        return out
+
+    results = once(run)
+    text = format_series("Figure 5: conv layer forward runtime (out_dim=256)",
+                         results, unit="s", precision=5)
+    emit("fig05_conv_layers", text)
+
+    def val(device, kind, fw, ds):
+        return results[f"{device}/{kind}/{fw}"][ds]
+
+    # Observation 3a: all eight DGL layers beat PyG on CPU (where both run).
+    for kind in KINDS:
+        for ds in DATASETS:
+            dgl, pyg = val("cpu", kind, "dglite", ds), val("cpu", kind, "pyglite", ds)
+            if isinstance(pyg, str) or isinstance(dgl, str):
+                continue
+            assert dgl < pyg, ("cpu", kind, ds)
+
+    # Observation 3b: on GPU, PyG wins only on small graphs; DGL wins on
+    # the large ones.
+    assert val("gpu", "gcn", "pyglite", "ppi") < val("gpu", "gcn", "dglite", "ppi")
+    assert val("gpu", "gcn", "dglite", "reddit") < val("gpu", "gcn", "pyglite", "reddit")
+
+    # Observation 3c: GPU gives order-of-magnitude speedups (up to ~70x).
+    speedups = []
+    for kind in KINDS:
+        for ds in DATASETS:
+            cpu, gpu = val("cpu", kind, "dglite", ds), val("gpu", kind, "dglite", ds)
+            if not isinstance(cpu, str) and not isinstance(gpu, str):
+                speedups.append(cpu / gpu)
+    assert max(speedups) > 30, f"max GPU speedup only {max(speedups):.1f}x"
+
+    # Observation 3d: PyG's unfused layers OOM on the largest graphs (GPU);
+    # its fused layers never OOM; DGL never OOMs.
+    for kind in PYG_UNFUSED:
+        for ds in BIG_GRAPHS:
+            assert val("gpu", kind, "pyglite", ds) == "OOM", (kind, ds)
+    for kind in set(KINDS) - set(PYG_UNFUSED):
+        for ds in DATASETS:
+            assert val("gpu", kind, "pyglite", ds) != "OOM", (kind, ds)
+    for kind in KINDS:
+        for ds in DATASETS:
+            assert val("gpu", kind, "dglite", ds) != "OOM", (kind, ds)
+
+    # SAGEConv is relatively cheap (simple mean aggregation): cheaper than
+    # the multi-hop and attention-MLP layers on the densest graph.
+    sage = val("cpu", "sage", "dglite", "reddit")
+    for kind in ("cheb", "gatv2", "tag"):
+        assert sage < val("cpu", kind, "dglite", "reddit"), kind

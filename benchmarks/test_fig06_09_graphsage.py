@@ -1,0 +1,31 @@
+"""Figures 6-9: GraphSAGE runtime breakdown, total, power, and energy."""
+
+from conftest import emit
+from grid import (
+    assert_common_shapes,
+    breakdown_table,
+    energy_table,
+    power_table,
+    run_model_grid,
+    totals_table,
+)
+
+
+def test_fig06_09_graphsage(once):
+    grid = once(lambda: run_model_grid("graphsage"))
+
+    emit("fig06_graphsage_breakdown",
+         breakdown_table("Figure 6: GraphSAGE runtime breakdown (10 epochs)", grid))
+    emit("fig07_graphsage_total",
+         totals_table("Figure 7: GraphSAGE total runtime", grid))
+    emit("fig08_graphsage_power",
+         power_table("Figure 8: GraphSAGE average power", grid))
+    emit("fig09_graphsage_energy",
+         energy_table("Figure 9: GraphSAGE energy consumption", grid))
+
+    assert_common_shapes(grid, "graphsage")
+
+    # GraphSAGE-specific: neighborhood sampling is the dominant phase for
+    # PyG on every dataset (Python sampler, Observation 4).
+    for ds, result in grid["PyG-CPU"].items():
+        assert result.phase_fraction("sampling") > 0.4, ds

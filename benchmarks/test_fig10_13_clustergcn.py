@@ -1,0 +1,30 @@
+"""Figures 10-13: ClusterGCN runtime breakdown, total, power, and energy."""
+
+from conftest import emit
+from grid import (
+    assert_common_shapes,
+    breakdown_table,
+    energy_table,
+    power_table,
+    run_model_grid,
+    totals_table,
+)
+
+
+def test_fig10_13_clustergcn(once):
+    grid = once(lambda: run_model_grid("clustergcn"))
+
+    emit("fig10_clustergcn_breakdown",
+         breakdown_table("Figure 10: ClusterGCN runtime breakdown (10 epochs)", grid))
+    emit("fig11_clustergcn_total",
+         totals_table("Figure 11: ClusterGCN total runtime", grid))
+    emit("fig12_clustergcn_power",
+         power_table("Figure 12: ClusterGCN average power", grid))
+    emit("fig13_clustergcn_energy",
+         energy_table("Figure 13: ClusterGCN energy consumption", grid))
+
+    assert_common_shapes(grid, "clustergcn")
+
+    # ClusterGCN-specific: the one-time METIS partitioning makes sampling
+    # a visible phase even for DGL on the largest graph.
+    assert grid["DGL-CPU"]["ogbn-products"].phase_fraction("sampling") > 0.15

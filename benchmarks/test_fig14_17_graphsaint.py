@@ -1,0 +1,36 @@
+"""Figures 14-17: GraphSAINT runtime breakdown, total, power, and energy."""
+
+from conftest import DATASETS, emit
+from grid import (
+    assert_common_shapes,
+    breakdown_table,
+    energy_table,
+    power_table,
+    run_model_grid,
+    totals_table,
+)
+
+
+def test_fig14_17_graphsaint(once):
+    grid = once(lambda: run_model_grid("graphsaint"))
+
+    emit("fig14_graphsaint_breakdown",
+         breakdown_table("Figure 14: GraphSAINT runtime breakdown (10 epochs)", grid))
+    emit("fig15_graphsaint_total",
+         totals_table("Figure 15: GraphSAINT total runtime", grid))
+    emit("fig16_graphsaint_power",
+         power_table("Figure 16: GraphSAINT average power", grid))
+    emit("fig17_graphsaint_energy",
+         energy_table("Figure 17: GraphSAINT energy consumption", grid))
+
+    assert_common_shapes(grid, "graphsaint")
+
+    # Observation 5 (GraphSAINT nuance): with the light-weight SAINT
+    # sampler, PyG-CPUGPU beats DGL-CPUGPU on at least some small/medium
+    # graphs (small subgraphs favour PyG's low GPU overhead).
+    wins = [
+        ds for ds in DATASETS
+        if grid["PyG-CPUGPU"][ds].total_time < grid["DGL-CPUGPU"][ds].total_time
+    ]
+    assert wins, "PyG-CPUGPU never wins with GraphSAINT"
+    assert "ppi" in wins or "flickr" in wins or "ogbn-arxiv" in wins

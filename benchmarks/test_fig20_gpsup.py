@@ -1,0 +1,67 @@
+"""Figure 20: GPS-UP metrics of DGL-GPU and DGL-UVAGPU vs DGL-CPUGPU.
+
+The paper: up to 5.5x Speedup, Greenup always > 1, Powerup not always > 1
+(Reddit's huge neighbor lists make GPU sampling power-hungry).
+"""
+
+from conftest import DATASETS, EPOCHS, REPRESENTATIVE_BATCHES, emit
+
+from repro.bench import format_series, run_training_experiment
+from repro.metrics import gps_up
+
+
+def test_fig20_gpsup(once):
+    def run():
+        out = {}
+        for placement in ("cpugpu", "gpu", "uvagpu"):
+            row = {}
+            for ds in DATASETS:
+                row[ds] = run_training_experiment(
+                    "dglite", ds, "graphsage", placement=placement,
+                    epochs=EPOCHS,
+                    representative_batches=REPRESENTATIVE_BATCHES,
+                )
+            out[placement] = row
+        return out
+
+    grid = once(run)
+
+    metrics = {}
+    for placement, nick in (("gpu", "DGL-GPU"), ("uvagpu", "DGL-UVAGPU")):
+        for ds in DATASETS:
+            base = grid["cpugpu"][ds]
+            opt = grid[placement][ds]
+            metrics[(nick, ds)] = gps_up(base.total_time, base.total_energy,
+                                         opt.total_time, opt.total_energy)
+
+    for field in ("speedup", "powerup", "greenup"):
+        series = {
+            nick: {ds: getattr(metrics[(nick, ds)], field) for ds in DATASETS}
+            for nick in ("DGL-GPU", "DGL-UVAGPU")
+        }
+        emit(f"fig20_{field}",
+             format_series(f"Figure 20: {field} vs DGL-CPUGPU", series,
+                           unit="x", precision=2))
+
+    # Observation 8a: GPU sampling is always faster and always greener.
+    for key, m in metrics.items():
+        assert m.speedup > 1.0, key
+        assert m.greenup > 1.0, key
+
+    # Up to ~5x speedup somewhere.
+    best = max(m.speedup for (nick, _), m in metrics.items() if nick == "DGL-GPU")
+    assert best > 3.0, f"best DGL-GPU speedup only {best:.1f}x"
+
+    # Observation 8b: DGL-UVAGPU is slightly slower than DGL-GPU
+    # (zero-copy host reads vs onboard memory).
+    for ds in DATASETS:
+        assert (metrics[("DGL-UVAGPU", ds)].speedup
+                <= metrics[("DGL-GPU", ds)].speedup * 1.05), ds
+
+    # Observation 8c: GPU sampling can draw MORE average power than CPU
+    # sampling (Powerup > 1), especially on graphs with huge per-node
+    # neighbor lists — Reddit is among the most power-hungry cases.
+    gpu_powerups = {ds: metrics[("DGL-GPU", ds)].powerup for ds in DATASETS}
+    assert any(p > 1.0 for p in gpu_powerups.values())
+    top2 = sorted(gpu_powerups, key=gpu_powerups.get, reverse=True)[:3]
+    assert "reddit" in top2, gpu_powerups

@@ -1,0 +1,75 @@
+"""Figures 22-24: full-batch GraphSAGE — one-epoch time, power, energy.
+
+The paper: DGL-CPU is much faster than PyG-CPU; on GPU, PyG wins only on
+the smallest graph (PPI); power shows no clear framework winner, so energy
+differences come from runtime differences.
+"""
+
+from conftest import DATASETS, FRAMEWORKS, emit
+
+from repro.bench import format_series, run_fullbatch_experiment
+
+EPOCHS = 5  # averaged per-epoch (the paper averages 100 runs)
+
+
+def test_fig22_24_fullbatch(once):
+    def run():
+        out = {}
+        for fw in FRAMEWORKS:
+            for device in ("cpu", "gpu"):
+                out[(fw, device)] = {
+                    ds: run_fullbatch_experiment(fw, ds, device=device,
+                                                 epochs=EPOCHS)
+                    for ds in DATASETS
+                }
+        return out
+
+    grid = once(run)
+
+    nick = {"dglite": "DGL", "pyglite": "PyG"}
+    time_series = {
+        f"{nick[fw]}-{dev.upper()}": {
+            ds: r.phases["training"] for ds, r in row.items()
+        }
+        for (fw, dev), row in grid.items()
+    }
+    power_series = {
+        f"{nick[fw]}-{dev.upper()}": {ds: r.avg_power for ds, r in row.items()}
+        for (fw, dev), row in grid.items()
+    }
+    energy_series = {
+        f"{nick[fw]}-{dev.upper()}": {
+            ds: r.total_energy / EPOCHS for ds, r in row.items()
+        }
+        for (fw, dev), row in grid.items()
+    }
+    emit("fig22_fullbatch_time",
+         format_series("Figure 22: full-batch GraphSAGE one-epoch time",
+                       time_series, unit="s", precision=4))
+    emit("fig23_fullbatch_power",
+         format_series("Figure 23: full-batch average power",
+                       power_series, unit="W", precision=1))
+    emit("fig24_fullbatch_energy",
+         format_series("Figure 24: full-batch one-epoch energy",
+                       energy_series, unit="J", precision=1))
+
+    # DGL-CPU is faster than PyG-CPU everywhere, by a wide margin on the
+    # aggregation-heavy graphs.
+    for ds in DATASETS:
+        assert time_series["DGL-CPU"][ds] < time_series["PyG-CPU"][ds], ds
+    assert (time_series["PyG-CPU"]["reddit"]
+            > 2 * time_series["DGL-CPU"]["reddit"])
+
+    # On GPU, PyG wins only on PPI (the smallest graph).
+    assert time_series["PyG-GPU"]["ppi"] < time_series["DGL-GPU"]["ppi"]
+    for ds in DATASETS[1:]:
+        assert time_series["DGL-GPU"][ds] < time_series["PyG-GPU"][ds], ds
+
+    # Energy differences track runtime: on CPU the energy ratio follows
+    # the time ratio (no clear average-power winner).
+    for ds in ("reddit", "yelp"):
+        t_ratio = time_series["PyG-CPU"][ds] / time_series["DGL-CPU"][ds]
+        e_ratio = (energy_series["PyG-CPU"][ds] / energy_series["DGL-CPU"][ds])
+        # energy ratios are diluted by the shared loading/idle time
+        assert e_ratio > 1.0, ds
+        assert t_ratio > 1.0, ds

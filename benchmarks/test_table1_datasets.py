@@ -1,0 +1,38 @@
+"""Table 1: dataset statistics (logical = paper scale, actual = generated)."""
+
+from conftest import DATASETS, emit
+
+from repro.datasets import get_dataset, list_datasets
+
+
+def test_table1_dataset_statistics(once):
+    def run():
+        rows = []
+        for spec in list_datasets():
+            graph = get_dataset(spec.name)
+            rows.append((spec, graph))
+        return rows
+
+    rows = once(run)
+
+    header = (f"{'Dataset':<15}{'#Nodes':>12}{'#Edges':>14}{'#Feat':>7}"
+              f"{'#Cls':>6}{'Multi':>7}{'Train/Val/Test':>18}"
+              f"{'actual N':>10}{'actual E':>10}")
+    lines = ["TABLE 1: DATASET STATISTICS", "=" * len(header), header,
+             "-" * len(header)]
+    for spec, graph in rows:
+        split = f"{spec.split.train:.2f}/{spec.split.val:.2f}/{spec.split.test:.2f}"
+        lines.append(
+            f"{spec.name:<15}{spec.logical_num_nodes:>12,}"
+            f"{spec.logical_num_edges:>14,}{spec.num_features:>7}"
+            f"{spec.num_classes:>6}{str(spec.multilabel):>7}{split:>18}"
+            f"{graph.num_nodes:>10,}{graph.num_edges:>10,}"
+        )
+    emit("table1_datasets", "\n".join(lines))
+
+    # Table 1 invariants.
+    assert [spec.name for spec, _ in rows] == list(DATASETS)
+    sizes = [spec.logical_num_nodes for spec, _ in rows]
+    assert sizes == sorted(sizes), "Table 1 is ordered small -> large by nodes"
+    reddit = next(spec for spec, _ in rows if spec.name == "reddit")
+    assert reddit.logical_num_edges == max(s.logical_num_edges for s, _ in rows)

@@ -1,0 +1,48 @@
+"""Green computing: GPS-UP analysis of GPU-based sampling (Figure 20).
+
+Quantifies Speedup / Greenup / Powerup of DGL's GPU-based and UVA-based
+neighborhood samplers against the CPU-sampling baseline, reproducing the
+paper's green-computing case study.
+
+Run:  python examples/green_computing.py
+"""
+
+from repro.bench import run_training_experiment
+from repro.metrics import gps_up
+
+DATASETS = ("ppi", "flickr", "reddit")
+
+
+def main() -> None:
+    print("GPS-UP of DGL's GPU/UVA samplers vs DGL-CPUGPU (GraphSAGE)\n")
+    header = (f"{'dataset':<10}{'variant':<12}{'speedup':>9}{'greenup':>9}"
+              f"{'powerup':>9}  {'category'}")
+    print(header)
+    print("-" * len(header))
+
+    for dataset in DATASETS:
+        base = run_training_experiment("dglite", dataset, "graphsage",
+                                       placement="cpugpu", epochs=5,
+                                       representative_batches=2)
+        for placement, label in (("gpu", "DGL-GPU"), ("uvagpu", "DGL-UVAGPU")):
+            opt = run_training_experiment("dglite", dataset, "graphsage",
+                                          placement=placement, epochs=5,
+                                          representative_batches=2)
+            m = gps_up(base.total_time, base.total_energy,
+                       opt.total_time, opt.total_energy)
+            print(f"{dataset:<10}{label:<12}{m.speedup:>8.2f}x{m.greenup:>8.2f}x"
+                  f"{m.powerup:>8.2f}x  {m.category()}")
+
+    print("\nReading the table (Observation 8):")
+    print("  * Speedup > 1 and Greenup > 1 everywhere: sampling on the GPU")
+    print("    is both faster and more energy-efficient overall.")
+    print("  * Powerup > 1: the GPU draws MORE average power while doing")
+    print("    it — the energy still drops because the runtime shrinks")
+    print("    faster than the power rises. Reddit (avg degree ~492) is")
+    print("    the most power-hungry case.")
+    print("  * UVA trails GPU-resident sampling slightly: zero-copy host")
+    print("    reads cross PCIe instead of hitting onboard GDDR6.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Scaling out: why more GPUs don't help until sampling scales too.
+
+Combines the two scaling extensions: multi-GPU data-parallel training
+(ring all-reduce) and the sampler worker pool.  Reproduces, in one table,
+the practical lesson behind the paper's Observation 4: throwing GPUs at a
+sampling-bound workload is wasted silicon.
+
+Run:  python examples/scaling_out.py
+"""
+
+from repro.distributed import DataParallelTrainer, multi_gpu_testbed
+from repro.frameworks import get_framework
+from repro.hardware import paper_testbed
+from repro.models.graphsage import build_graphsage, graphsage_sampler
+from repro.models.trainer import MiniBatchTrainer, TrainConfig
+
+DATASET = "reddit"
+
+
+def multi_gpu_row(k: int):
+    machine = multi_gpu_testbed(k)
+    fw = get_framework("dglite")
+    fgraph = fw.load(DATASET, machine)
+    sampler = graphsage_sampler(fw, fgraph, seed=0)
+    net = build_graphsage(fw, fgraph, seed=0)
+    trainer = DataParallelTrainer(fw, fgraph, sampler, net, epochs=3,
+                                  representative_steps=2)
+    return trainer.run()
+
+
+def workers_row(workers: int):
+    machine = paper_testbed()
+    fw = get_framework("dglite")
+    fgraph = fw.load(DATASET, machine)
+    sampler = graphsage_sampler(fw, fgraph, seed=0)
+    net = build_graphsage(fw, fgraph, seed=0)
+    config = TrainConfig(epochs=3, placement="cpugpu", num_workers=workers,
+                         representative_batches=2)
+    return MiniBatchTrainer(fw, fgraph, sampler, net, config).run()
+
+
+def main() -> None:
+    print(f"GraphSAGE on {DATASET}, 3 epochs, simulated testbed\n")
+
+    print("Adding GPUs (data-parallel, inline sampling):")
+    print(f"{'GPUs':>6}{'total':>10}{'sampling':>11}{'training':>11}{'speedup':>9}")
+    base = None
+    for k in (1, 2, 4, 8):
+        r = multi_gpu_row(k)
+        base = base or r.total_time
+        print(f"{k:>6}{r.total_time:>9.1f}s"
+              f"{r.phases.get('sampling', 0):>10.1f}s"
+              f"{r.phases.get('training', 0):>10.2f}s"
+              f"{base / r.total_time:>8.2f}x")
+
+    print("\nAdding sampling workers instead (1 GPU, pipelined):")
+    print(f"{'workers':>8}{'total':>10}{'sampling':>11}{'speedup':>9}")
+    base = None
+    for w in (0, 2, 4, 8):
+        r = workers_row(w)
+        base = base or r.total_time
+        print(f"{w:>8}{r.total_time:>9.1f}s"
+              f"{r.phases.get('sampling', 0):>10.1f}s"
+              f"{base / r.total_time:>8.2f}x")
+
+    print("\nLesson (Observation 4, operationalized): the sampler is the")
+    print("serial stage. Eight GPUs buy almost nothing; eight sampling")
+    print("workers on one GPU buy more than the whole second-through-")
+    print("eighth GPU combined.")
+
+
+if __name__ == "__main__":
+    main()

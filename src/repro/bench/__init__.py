@@ -1,0 +1,22 @@
+"""Experiment harness: one entry point per paper experiment family."""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    measure_conv_forward,
+    measure_data_loader,
+    measure_sampler_epoch,
+    run_fullbatch_experiment,
+    run_training_experiment,
+)
+from repro.bench.format import format_matrix, format_series
+
+__all__ = [
+    "ExperimentResult",
+    "format_matrix",
+    "format_series",
+    "measure_conv_forward",
+    "measure_data_loader",
+    "measure_sampler_epoch",
+    "run_fullbatch_experiment",
+    "run_training_experiment",
+]

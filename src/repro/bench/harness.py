@@ -1,0 +1,301 @@
+"""Experiment drivers behind every table and figure.
+
+Each function builds a *fresh* simulated machine (clocks, ledgers, and
+counters never leak between experiments), runs the workload, and returns
+plain numbers: virtual seconds, joules, watts, and phase breakdowns.
+"""
+
+from __future__ import annotations
+
+import gc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import BenchmarkError, OutOfMemoryError
+from repro.frameworks import get_framework
+from repro.frameworks.base import FrameworkGraph
+from repro.hardware.machine import Machine, paper_testbed
+from repro.models.base import two_layer_net
+from repro.models.clustergcn import build_clustergcn, clustergcn_sampler
+from repro.models.fullbatch import FullBatchTrainer, build_fullbatch_sage
+from repro.models.graphsage import build_graphsage, graphsage_sampler
+from repro.models.graphsaint import build_graphsaint, graphsaint_sampler
+from repro.models.trainer import MiniBatchTrainer, TrainConfig
+from repro.kernels.transfer import adj_to_device, to_device
+from repro.power.monitor import EnergyMonitor, EnergyReport
+from repro.profiling.profiler import PhaseProfiler
+from repro.tensor.tensor import no_grad
+
+MODEL_BUILDERS = {
+    "graphsage": (build_graphsage, graphsage_sampler),
+    "clustergcn": (build_clustergcn, clustergcn_sampler),
+    "graphsaint": (build_graphsaint, graphsaint_sampler),
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the figures need from one experiment run."""
+
+    label: str
+    phases: Dict[str, float] = field(default_factory=dict)
+    energy: Optional[EnergyReport] = None
+    losses: List[float] = field(default_factory=list)
+    batches_per_epoch: int = 0
+    oom: bool = False
+    error: str = ""
+    # Kernel-level attribution (busy seconds by kernel family) — the
+    # paper-title "magnifying glass" view of where time went.
+    kernel_families: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.phases.values())
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy.total_energy if self.energy else 0.0
+
+    @property
+    def avg_power(self) -> float:
+        return self.energy.avg_power if self.energy else 0.0
+
+    def phase_fraction(self, name: str) -> float:
+        total = self.total_time
+        return self.phases.get(name, 0.0) / total if total > 0 else 0.0
+
+
+# ----------------------------------------------------------------------
+# end-to-end GNN training (Figures 6-21)
+# ----------------------------------------------------------------------
+def run_training_experiment(
+    framework: str,
+    dataset: str,
+    model: str,
+    placement: str = "cpu",
+    preload: bool = False,
+    prefetch: bool = False,
+    epochs: int = 10,
+    representative_batches: int = 3,
+    seed: int = 0,
+    monitor_interval: float = 0.1,
+    dataset_scale: float = 1.0,
+    feature_cache_fraction: float = 0.0,
+    cache_policy: str = "degree",
+    num_workers: int = 0,
+) -> ExperimentResult:
+    """Train one GNN end-to-end and return breakdown + power/energy.
+
+    ``placement``: "cpu" (sample + train on CPU), "cpugpu" (sample CPU,
+    train GPU), "gpu" (DGL GPU sampler + pre-load), "uvagpu" (DGL UVA
+    sampler).  ``preload`` adds the case-study-1 feature pre-loading to a
+    "cpugpu" run; ``feature_cache_fraction`` > 0 instead caches that
+    fraction of node features on the GPU (partial pre-loading, ref [12]).
+    """
+    if model not in MODEL_BUILDERS:
+        raise BenchmarkError(f"unknown model {model!r}")
+    build_model, build_sampler = MODEL_BUILDERS[model]
+    fw = get_framework(framework)
+    machine = paper_testbed()
+    monitor = EnergyMonitor(machine, interval=monitor_interval)
+    profiler = PhaseProfiler(machine.clock)
+    label = _label(framework, placement, preload, prefetch)
+    monitor.start()
+    try:
+        with profiler.phase("data_loading"):
+            fgraph = fw.load(dataset, machine, scale=dataset_scale)
+        config = TrainConfig(
+            epochs=epochs,
+            placement=placement,
+            preload=preload,
+            prefetch=prefetch,
+            num_workers=num_workers,
+            representative_batches=representative_batches,
+            seed=seed,
+        )
+        if model == "graphsage":
+            mode = {"gpu": "gpu", "uvagpu": "uva"}.get(placement, "cpu")
+            if placement == "gpu":
+                # GPU-based sampling needs the graph resident on the GPU
+                # before the sampler is constructed.
+                with profiler.phase("data_movement"):
+                    fgraph.preload_to_gpu()
+            sampler = build_sampler(fw, fgraph, mode=mode, seed=seed)
+        else:
+            if placement in ("gpu", "uvagpu"):
+                raise BenchmarkError(
+                    f"{model} has no GPU/UVA sampler (paper: GraphSAGE-only)"
+                )
+            sampler = build_sampler(fw, fgraph, seed=seed)
+        net = build_model(fw, fgraph, seed=seed)
+        feature_cache = None
+        if feature_cache_fraction > 0:
+            if placement != "cpugpu" or preload:
+                raise BenchmarkError(
+                    "feature caching applies to the plain 'cpugpu' placement"
+                )
+            from repro.frameworks.feature_cache import GpuFeatureCache
+
+            with profiler.phase("data_movement"):
+                feature_cache = GpuFeatureCache(
+                    fgraph, fraction=feature_cache_fraction,
+                    policy=cache_policy, seed=seed,
+                )
+            label = f"{label}+cache{int(100 * feature_cache_fraction)}"
+        trainer = MiniBatchTrainer(fw, fgraph, sampler, net, config,
+                                   profiler=profiler, label=label,
+                                   feature_cache=feature_cache)
+        run = trainer.run()
+        report = monitor.stop()
+        from repro.profiling.kernel_report import group_by_family
+
+        return ExperimentResult(
+            label=label,
+            phases=run.phases,
+            energy=report,
+            losses=run.losses,
+            batches_per_epoch=run.batches_per_epoch,
+            kernel_families=group_by_family(machine),
+        )
+    except OutOfMemoryError as exc:
+        report = monitor.stop()
+        return ExperimentResult(label=label, phases=profiler.snapshot(),
+                                energy=report, oom=True, error=str(exc))
+    finally:
+        gc.collect()
+
+
+def _label(framework: str, placement: str, preload: bool, prefetch: bool) -> str:
+    nick = {"dglite": "DGL", "pyglite": "PyG"}.get(framework, framework)
+    place = {
+        "cpu": "CPU",
+        "cpugpu": "CPUGPU",
+        "gpu": "GPU",
+        "uvagpu": "UVAGPU",
+    }[placement]
+    suffix = "+preload" if preload else ""
+    suffix += "+prefetch" if prefetch else ""
+    return f"{nick}-{place}{suffix}"
+
+
+# ----------------------------------------------------------------------
+# full-batch training (Figures 22-24)
+# ----------------------------------------------------------------------
+def run_fullbatch_experiment(
+    framework: str,
+    dataset: str,
+    device: str = "cpu",
+    epochs: int = 3,
+    seed: int = 0,
+    monitor_interval: float = 0.1,
+    dataset_scale: float = 1.0,
+) -> ExperimentResult:
+    """Full-batch GraphSAGE; reports per-epoch time and power/energy."""
+    fw = get_framework(framework)
+    machine = paper_testbed()
+    profiler = PhaseProfiler(machine.clock)
+    label = f"{_label(framework, 'cpu' if device == 'cpu' else 'cpugpu', False, False).split('-')[0]}-{device.upper()}"
+    monitor = EnergyMonitor(machine, interval=monitor_interval)
+    monitor.start()
+    try:
+        with profiler.phase("data_loading"):
+            fgraph = fw.load(dataset, machine, scale=dataset_scale)
+        net = build_fullbatch_sage(fw, fgraph, seed=seed)
+        trainer = FullBatchTrainer(fw, fgraph, net, device=device,
+                                   profiler=profiler)
+        trainer.setup()
+        losses = trainer.train_epochs(epochs)
+        report = monitor.stop()
+        phases = profiler.snapshot()
+        phases["training"] = phases.get("training", 0.0) / max(1, epochs)  # per-epoch
+        return ExperimentResult(label=label, phases=phases, energy=report,
+                                losses=losses)
+    except OutOfMemoryError as exc:
+        report = monitor.stop()
+        return ExperimentResult(label=label, phases=profiler.snapshot(),
+                                energy=report, oom=True, error=str(exc))
+    finally:
+        gc.collect()
+
+
+# ----------------------------------------------------------------------
+# functional tests (Figures 3-5)
+# ----------------------------------------------------------------------
+def measure_data_loader(framework: str, dataset: str,
+                        dataset_scale: float = 1.0) -> float:
+    """Figure 3: seconds to load a dataset into the framework object."""
+    fw = get_framework(framework)
+    machine = paper_testbed()
+    start = machine.clock.now
+    fw.load(dataset, machine, scale=dataset_scale)
+    return machine.clock.now - start
+
+
+def measure_sampler_epoch(framework: str, dataset: str, sampler: str,
+                          representative_batches: int = 5,
+                          seed: int = 0, dataset_scale: float = 1.0) -> Dict[str, float]:
+    """Figure 4: seconds to run one sampling epoch (no training).
+
+    Returns ``{"epoch": s, "one_time": s, "batches": n}`` where
+    ``one_time`` is CSC conversion + (for ClusterGCN) partitioning.
+    """
+    fw = get_framework(framework)
+    machine = paper_testbed()
+    fgraph = fw.load(dataset, machine, scale=dataset_scale)
+
+    one_time_start = machine.clock.now
+    if sampler == "neighbor":
+        wrapped = graphsage_sampler(fw, fgraph, seed=seed)
+    elif sampler == "cluster":
+        wrapped = clustergcn_sampler(fw, fgraph, seed=seed)
+        wrapped.ensure_partitioned()
+    elif sampler == "saint_rw":
+        wrapped = graphsaint_sampler(fw, fgraph, seed=seed)
+    else:
+        raise BenchmarkError(f"unknown sampler {sampler!r}")
+    one_time = machine.clock.now - one_time_start
+
+    num_batches = wrapped.num_batches()
+    reps = min(representative_batches, num_batches)
+    epoch_start = machine.clock.now
+    iterator = iter(wrapped.epoch())
+    ran = 0
+    for _ in range(reps):
+        if next(iterator, None) is None:
+            break
+        ran += 1
+    elapsed = machine.clock.now - epoch_start
+    if ran:
+        elapsed *= num_batches / ran
+    return {"epoch": elapsed, "one_time": one_time, "batches": float(num_batches)}
+
+
+def measure_conv_forward(framework: str, dataset: str, kind: str,
+                         device: str = "cpu", out_features: int = 256,
+                         seed: int = 0, dataset_scale: float = 1.0) -> ExperimentResult:
+    """Figure 5: one forward pass of a conv layer over the full graph."""
+    fw = get_framework(framework)
+    machine = paper_testbed()
+    fgraph = fw.load(dataset, machine, scale=dataset_scale)
+    label = f"{framework}/{dataset}/{kind}/{device}"
+    try:
+        with fw.activate(), no_grad():
+            target = machine.device(device)
+            adj = adj_to_device(fgraph.adj, target, machine.pcie)
+            x = to_device(fgraph.features, target, machine.pcie)
+            in_features = fgraph.stats.num_features
+            if kind == "gcn2":
+                conv = fw.conv(kind, in_features, in_features, seed=seed)
+            else:
+                conv = fw.conv(kind, in_features, out_features, seed=seed)
+            conv.to(target)
+            start = machine.clock.now
+            conv(adj, x)
+            seconds = machine.clock.now - start
+        return ExperimentResult(label=label, phases={"forward": seconds})
+    except OutOfMemoryError as exc:
+        return ExperimentResult(label=label, oom=True, error=str(exc))
+    finally:
+        gc.collect()

@@ -1,0 +1,264 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's experiment families:
+
+* ``datasets`` — print Table 1.
+* ``loader`` — Figure 3 (data-loader runtime for one or all datasets).
+* ``samplers`` — Figure 4 (per-epoch sampler runtime).
+* ``conv`` — Figure 5 (conv-layer forward runtime).
+* ``train`` — Figures 6-21 (one end-to-end training experiment).
+* ``fullbatch`` — Figures 22-24 (full-batch GraphSAGE).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from repro.bench import (
+    measure_conv_forward,
+    measure_data_loader,
+    measure_sampler_epoch,
+    run_fullbatch_experiment,
+    run_training_experiment,
+)
+from repro.datasets import DATASET_NAMES, list_datasets
+from repro.profiling.profiler import PHASES
+
+FRAMEWORKS = ("dglite", "pyglite")
+
+
+def _dataset_args(value: str) -> List[str]:
+    if value == "all":
+        return list(DATASET_NAMES)
+    if value not in DATASET_NAMES:
+        raise argparse.ArgumentTypeError(
+            f"unknown dataset {value!r}; pick 'all' or one of {DATASET_NAMES}"
+        )
+    return [value]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for the IISWC'22 GNN-framework "
+                    "characterization study.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print Table 1")
+
+    loader = sub.add_parser("loader", help="Figure 3: data-loader runtime")
+    loader.add_argument("--dataset", type=_dataset_args, default=list(DATASET_NAMES))
+
+    samplers = sub.add_parser("samplers", help="Figure 4: sampler runtime")
+    samplers.add_argument("--dataset", type=_dataset_args, default=["flickr"])
+    samplers.add_argument("--sampler", choices=("neighbor", "cluster", "saint_rw"),
+                          default="neighbor")
+
+    conv = sub.add_parser("conv", help="Figure 5: conv-layer forward runtime")
+    conv.add_argument("--dataset", type=_dataset_args, default=["flickr"])
+    conv.add_argument("--kind", default="gcn",
+                      choices=("gcn", "gcn2", "cheb", "sage", "gat", "gatv2",
+                               "tag", "sg"))
+    conv.add_argument("--device", choices=("cpu", "gpu"), default="cpu")
+
+    train = sub.add_parser("train", help="Figures 6-21: end-to-end training")
+    train.add_argument("--framework", choices=FRAMEWORKS, default="dglite")
+    train.add_argument("--dataset", type=_dataset_args, default=["ppi"])
+    train.add_argument("--model",
+                       choices=("graphsage", "clustergcn", "graphsaint"),
+                       default="graphsage")
+    train.add_argument("--placement",
+                       choices=("cpu", "cpugpu", "gpu", "uvagpu"),
+                       default="cpu")
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--preload", action="store_true")
+    train.add_argument("--prefetch", action="store_true")
+    train.add_argument("--cache-fraction", type=float, default=0.0)
+    train.add_argument("--workers", type=int, default=0,
+                       help="parallel sampling workers (0 = inline)")
+
+    fullbatch = sub.add_parser("fullbatch", help="Figures 22-24: full-batch SAGE")
+    fullbatch.add_argument("--framework", choices=FRAMEWORKS, default="dglite")
+    fullbatch.add_argument("--dataset", type=_dataset_args, default=["ppi"])
+    fullbatch.add_argument("--device", choices=("cpu", "gpu"), default="cpu")
+    fullbatch.add_argument("--epochs", type=int, default=3)
+
+    sub.add_parser("observations",
+                   help="run the eight-observation reproduction checklist")
+
+    report = sub.add_parser("report",
+                            help="aggregate benchmarks/results/*.txt into one file")
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.add_argument("--out", default=None,
+                        help="write to this file instead of stdout")
+
+    suite = sub.add_parser("suite", help="run a JSON experiment suite")
+    suite.add_argument("path", help="suite JSON file (list of specs)")
+    suite.add_argument("--out", default=None,
+                       help="write result records to this JSON file")
+    suite.add_argument("--compare", default=None,
+                       help="compare against previous results; non-zero exit "
+                            "on drift beyond --tolerance")
+    suite.add_argument("--tolerance", type=float, default=0.05)
+    return parser
+
+
+def cmd_datasets() -> None:
+    print(f"{'dataset':<15}{'#nodes':>12}{'#edges':>14}{'#feat':>7}"
+          f"{'#cls':>6}{'task':>12}{'split':>18}")
+    for spec in list_datasets():
+        task = "multi-label" if spec.multilabel else "single"
+        split = f"{spec.split.train:.2f}/{spec.split.val:.2f}/{spec.split.test:.2f}"
+        print(f"{spec.name:<15}{spec.logical_num_nodes:>12,}"
+              f"{spec.logical_num_edges:>14,}{spec.num_features:>7}"
+              f"{spec.num_classes:>6}{task:>12}{split:>18}")
+
+
+def cmd_loader(datasets: List[str]) -> None:
+    print(f"{'dataset':<15}" + "".join(f"{fw:>12}" for fw in FRAMEWORKS))
+    for ds in datasets:
+        cells = "".join(
+            f"{measure_data_loader(fw, ds):>11.3f}s" for fw in FRAMEWORKS
+        )
+        print(f"{ds:<15}{cells}")
+
+
+def cmd_samplers(datasets: List[str], sampler: str) -> None:
+    print(f"sampler = {sampler}")
+    print(f"{'dataset':<15}{'DGLite':>12}{'PyGLite':>12}{'ratio':>8}")
+    for ds in datasets:
+        dgl = measure_sampler_epoch("dglite", ds, sampler)["epoch"]
+        pyg = measure_sampler_epoch("pyglite", ds, sampler)["epoch"]
+        print(f"{ds:<15}{dgl:>11.3f}s{pyg:>11.3f}s{pyg / dgl:>7.1f}x")
+
+
+def cmd_conv(datasets: List[str], kind: str, device: str) -> None:
+    print(f"layer = {kind}, device = {device}, out_dim = 256")
+    print(f"{'dataset':<15}{'DGLite':>14}{'PyGLite':>14}")
+    for ds in datasets:
+        cells = []
+        for fw in FRAMEWORKS:
+            result = measure_conv_forward(fw, ds, kind, device=device)
+            cells.append("OOM" if result.oom
+                         else f"{result.phases['forward'] * 1000:.3f}ms")
+        print(f"{ds:<15}{cells[0]:>14}{cells[1]:>14}")
+
+
+def cmd_train(args: argparse.Namespace) -> None:
+    for ds in args.dataset:
+        result = run_training_experiment(
+            args.framework, ds, args.model, placement=args.placement,
+            preload=args.preload, prefetch=args.prefetch, epochs=args.epochs,
+            feature_cache_fraction=args.cache_fraction,
+            num_workers=args.workers,
+        )
+        print(f"\n{result.label} / {args.model} / {ds} "
+              f"({args.epochs} epochs, {result.batches_per_epoch} batches/epoch)")
+        for phase in PHASES:
+            seconds = result.phases.get(phase, 0.0)
+            print(f"  {phase:<15}{seconds:>10.2f}s "
+                  f"{100 * result.phase_fraction(phase):>5.1f}%")
+        print(f"  {'total':<15}{result.total_time:>10.2f}s")
+        print(f"  avg power {result.avg_power:.1f} W, "
+              f"energy {result.total_energy:.1f} J")
+
+
+def cmd_fullbatch(args: argparse.Namespace) -> None:
+    for ds in args.dataset:
+        result = run_fullbatch_experiment(args.framework, ds,
+                                          device=args.device,
+                                          epochs=args.epochs)
+        if result.oom:
+            print(f"{result.label} / {ds}: OOM ({result.error})")
+            continue
+        print(f"{result.label} / {ds}: "
+              f"{result.phases['training'] * 1000:.3f} ms/epoch, "
+              f"avg power {result.avg_power:.1f} W, "
+              f"energy {result.total_energy:.1f} J")
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Concatenate every emitted result table into one report."""
+    from pathlib import Path
+
+    results_dir = Path(args.results_dir)
+    files = sorted(results_dir.glob("*.txt"))
+    if not files:
+        print(f"no result tables under {results_dir} "
+              "(run `pytest benchmarks/ --benchmark-only` first)")
+        return 1
+    sections = [f"Aggregated benchmark report ({len(files)} tables)\n"]
+    for path in files:
+        sections.append(f"\n### {path.stem}\n")
+        sections.append(path.read_text().rstrip())
+    text = "\n".join(sections) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out} ({len(files)} tables)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.bench.suite import (
+        compare_results,
+        load_results,
+        run_suite_file,
+        save_results,
+    )
+
+    records = run_suite_file(args.path)
+    for record in records:
+        summary = {k: v for k, v in record.items() if k != "spec"}
+        print(json.dumps(summary))
+    if args.out:
+        save_results(records, args.out)
+        print(f"wrote {len(records)} records to {args.out}")
+    if args.compare:
+        problems = compare_results(load_results(args.compare), records,
+                                   tolerance=args.tolerance)
+        if problems:
+            print(f"\n{len(problems)} regression(s) vs {args.compare}:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"\nno regressions vs {args.compare}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        cmd_datasets()
+    elif args.command == "loader":
+        cmd_loader(args.dataset)
+    elif args.command == "samplers":
+        cmd_samplers(args.dataset, args.sampler)
+    elif args.command == "conv":
+        cmd_conv(args.dataset, args.kind, args.device)
+    elif args.command == "train":
+        cmd_train(args)
+    elif args.command == "fullbatch":
+        cmd_fullbatch(args)
+    elif args.command == "observations":
+        from repro.bench.observations import (
+            format_observation_report,
+            run_all_observations,
+        )
+
+        results = run_all_observations()
+        print(format_observation_report(results))
+        return 0 if all(r.passed for r in results) else 1
+    elif args.command == "report":
+        return cmd_report(args)
+    elif args.command == "suite":
+        return cmd_suite(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

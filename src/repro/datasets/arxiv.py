@@ -1,0 +1,29 @@
+"""ogbn-arxiv: citation network of arXiv CS papers (OGB node property task).
+
+Table 1: 169,343 nodes / 1,166,243 edges / 128 features / 40 classes,
+split 0.54 / 0.29 / 0.17.  OGB datasets are loaded via the ogb package in
+both frameworks, so neither bundles it natively (PyG integrates the OGB
+interface more tightly, which the loader profile reflects).
+"""
+
+from repro.datasets.base import DatasetSpec
+from repro.graph.graph import Split
+
+SPEC = DatasetSpec(
+    name="ogbn-arxiv",
+    description="Citation Network of arXiv CS papers",
+    logical_num_nodes=169_343,
+    logical_num_edges=1_166_243,
+    num_features=128,
+    num_classes=40,
+    multilabel=False,
+    split=Split(0.54, 0.29, 0.17),
+    actual_num_nodes=3_600,
+    actual_num_edges=26_000,
+    num_communities=40,
+    intra_prob=0.8,
+    degree_exponent=2.2,
+    in_dgl=False,
+    in_pyg=True,
+    seed=33,
+)

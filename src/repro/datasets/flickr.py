@@ -1,0 +1,27 @@
+"""Flickr: images sharing common properties (7 classes, 500 features).
+
+Table 1: 89,250 nodes / 899,756 edges / 500 features / 7 classes,
+split 0.50 / 0.25 / 0.25.  Bundled by both frameworks.
+"""
+
+from repro.datasets.base import DatasetSpec
+from repro.graph.graph import Split
+
+SPEC = DatasetSpec(
+    name="flickr",
+    description="Images Sharing Common Properties",
+    logical_num_nodes=89_250,
+    logical_num_edges=899_756,
+    num_features=500,
+    num_classes=7,
+    multilabel=False,
+    split=Split(0.50, 0.25, 0.25),
+    actual_num_nodes=3_000,
+    actual_num_edges=30_000,
+    num_communities=14,
+    intra_prob=0.75,
+    degree_exponent=2.0,
+    in_dgl=True,
+    in_pyg=True,
+    seed=22,
+)

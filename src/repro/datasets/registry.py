@@ -1,0 +1,45 @@
+"""Dataset registry: name -> spec -> built graph."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.datasets import arxiv, flickr, ppi, products, reddit, yelp
+from repro.datasets.base import DatasetSpec, build_dataset
+from repro.errors import DatasetError
+from repro.graph.graph import Graph
+
+_SPECS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        ppi.SPEC,
+        flickr.SPEC,
+        arxiv.SPEC,
+        reddit.SPEC,
+        yelp.SPEC,
+        products.SPEC,
+    )
+}
+
+#: Table 1 order: small -> large.
+DATASET_NAMES = tuple(_SPECS)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by its Table 1 name (case-insensitive)."""
+    key = name.lower()
+    if key not in _SPECS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASET_NAMES)}"
+        )
+    return _SPECS[key]
+
+
+def get_dataset(name: str, scale: float = 1.0) -> Graph:
+    """Build (or fetch cached) the named dataset at the given actual scale."""
+    return build_dataset(dataset_spec(name), scale=scale)
+
+
+def list_datasets() -> List[DatasetSpec]:
+    """All specs in Table 1 order."""
+    return [_SPECS[name] for name in DATASET_NAMES]

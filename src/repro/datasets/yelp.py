@@ -1,0 +1,27 @@
+"""Yelp: businesses and reviews (multi-label, 100 classes).
+
+Table 1: 716,847 nodes / 13,954,819 edges / 300 features / 100 classes,
+split 0.75 / 0.10 / 0.15.  Bundled by PyG but not by DGL.
+"""
+
+from repro.datasets.base import DatasetSpec
+from repro.graph.graph import Split
+
+SPEC = DatasetSpec(
+    name="yelp",
+    description="Businesses and Reviews",
+    logical_num_nodes=716_847,
+    logical_num_edges=13_954_819,
+    num_features=300,
+    num_classes=100,
+    multilabel=True,
+    split=Split(0.75, 0.10, 0.15),
+    actual_num_nodes=4_200,
+    actual_num_edges=46_000,
+    num_communities=50,
+    intra_prob=0.78,
+    degree_exponent=2.0,
+    in_dgl=False,
+    in_pyg=True,
+    seed=55,
+)

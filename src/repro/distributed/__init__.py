@@ -1,0 +1,26 @@
+"""Multi-GPU data-parallel training (extension).
+
+The paper's related work points at distributed GNN training
+characterizations (Lin et al., IEEE CAL 2022); this package extends the
+simulated testbed to a single host with multiple GPUs and models
+synchronous data-parallel training: per step, each GPU trains one batch
+shard, gradients ring-all-reduce over the inter-GPU link, and every
+replica applies the same update.
+
+The headline result the ablation bench shows: scaling is quickly bounded
+by the *CPU sampling* stage that the paper's Observation 4 identifies —
+adding GPUs parallelizes compute but not the (host-side) samplers.
+"""
+
+from repro.distributed.machine import MultiGpuMachine, multi_gpu_testbed
+from repro.distributed.collective import ring_allreduce_time, ring_allreduce
+from repro.distributed.trainer import DataParallelTrainer, ScalingResult
+
+__all__ = [
+    "DataParallelTrainer",
+    "MultiGpuMachine",
+    "ScalingResult",
+    "multi_gpu_testbed",
+    "ring_allreduce",
+    "ring_allreduce_time",
+]

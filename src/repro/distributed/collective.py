@@ -1,0 +1,34 @@
+"""Collective communication cost models (ring all-reduce)."""
+
+from __future__ import annotations
+
+from repro.distributed.machine import MultiGpuMachine
+from repro.errors import DeviceError
+
+
+def ring_allreduce_time(machine: MultiGpuMachine, nbytes: float) -> float:
+    """Duration of a bandwidth-optimal ring all-reduce of ``nbytes``.
+
+    Classic model: 2(k-1)/k chunks of the payload traverse the ring, each
+    of the 2(k-1) steps paying the link latency.
+    """
+    k = machine.num_gpus
+    if k < 2:
+        return 0.0
+    link = machine.inter_gpu
+    steps = 2 * (k - 1)
+    return steps * link.latency + (2 * (k - 1) / k) * nbytes / link.bandwidth
+
+
+def ring_allreduce(machine: MultiGpuMachine, nbytes: float,
+                   tag: str = "allreduce") -> float:
+    """Run (charge) one all-reduce: every GPU busy for the full duration."""
+    if nbytes < 0:
+        raise DeviceError("negative all-reduce payload")
+    seconds = ring_allreduce_time(machine, nbytes)
+    if seconds <= 0:
+        return 0.0
+    machine.clock.occupy_parallel(
+        {gpu.name: seconds for gpu in machine.gpus}, tag=tag
+    )
+    return seconds

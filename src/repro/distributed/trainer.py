@@ -1,0 +1,240 @@
+"""Synchronous data-parallel GraphSAGE training over k GPUs.
+
+Per global step:
+
+1. the host CPU samples one batch shard per GPU (the samplers stay on the
+   CPU, exactly as in the paper — this stage does NOT parallelize);
+2. each shard's features/graph cross PCIe to its GPU (the link is shared,
+   so transfers serialize);
+3. replicas compute forward/backward concurrently — rank 0's shard is
+   executed physically and the other ranks are credited the same busy
+   window (shards are symmetric by construction);
+4. gradients ring-all-reduce across the GPUs, then every replica steps.
+
+Because replica busy time is credited retroactively, distributed energy
+is integrated exactly from busy intervals
+(:meth:`~repro.distributed.machine.MultiGpuMachine.total_gpu_energy`)
+instead of the sampled monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.distributed.collective import ring_allreduce
+from repro.distributed.machine import MultiGpuMachine
+from repro.errors import BenchmarkError
+from repro.frameworks.base import Framework, FrameworkGraph
+from repro.kernels.transfer import adj_to_device, to_device
+from repro.models.base import make_loss
+from repro.profiling.profiler import PhaseProfiler
+from repro.tensor.module import Module
+from repro.tensor.optim import Adam
+
+
+@dataclass
+class ScalingResult:
+    """Outcome of one data-parallel run."""
+
+    num_gpus: int
+    epochs: int
+    steps_per_epoch: int
+    phases: Dict[str, float]
+    losses: List[float] = field(default_factory=list)
+    gpu_energy: float = 0.0
+    cpu_energy: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.phases.values())
+
+    @property
+    def total_energy(self) -> float:
+        return self.gpu_energy + self.cpu_energy
+
+
+class DataParallelTrainer:
+    """k-GPU synchronous data-parallel driver (GraphSAGE-style blocks)."""
+
+    def __init__(
+        self,
+        framework: Framework,
+        fgraph: FrameworkGraph,
+        sampler,
+        model: Module,
+        epochs: int = 2,
+        representative_steps: int = 2,
+        lr: float = 1e-3,
+        profiler: PhaseProfiler = None,
+    ) -> None:
+        machine = fgraph.machine
+        if not isinstance(machine, MultiGpuMachine):
+            raise BenchmarkError("DataParallelTrainer needs a MultiGpuMachine")
+        if epochs < 1 or representative_steps < 1:
+            raise BenchmarkError("epochs and representative_steps must be >= 1")
+        self.framework = framework
+        self.fgraph = fgraph
+        self.sampler = sampler
+        self.model = model
+        self.machine: MultiGpuMachine = machine
+        self.epochs = epochs
+        self.representative_steps = representative_steps
+        self.profiler = profiler or PhaseProfiler(machine.clock)
+        self.loss_fn = make_loss(fgraph.stats.multilabel)
+        self.optimizer = None
+        self.lr = lr
+
+    # ------------------------------------------------------------------
+    def _grad_nbytes(self) -> float:
+        return float(sum(p.logical_nbytes for p in self.model.parameters()))
+
+    def _replica_names(self) -> List[str]:
+        return [gpu.name for gpu in self.machine.gpus[1:]]
+
+    def _step(self, shards) -> float:
+        """One synchronous global step over ``shards`` root sets."""
+        machine = self.machine
+        gpu0 = machine.gpus[0]
+        profiler = self.profiler
+
+        # (1) host-side sampling of every shard — serial on the CPU.
+        with profiler.phase("sampling"):
+            batches = [self.sampler.sample(roots) for roots in shards]
+
+        # (2) PCIe transfers serialize on the shared link.
+        with profiler.phase("data_movement"), self.framework.activate():
+            batch0 = batches[0]
+            batch0.adjs = [adj_to_device(a, gpu0, machine.pcie, tag="dp-graph")
+                           for a in batch0.adjs]
+            batch0.x = to_device(batch0.x, gpu0, machine.pcie, tag="dp-features")
+            machine.pcie.h2d(batch0.y_logical_nbytes, tag="dp-labels")
+            for extra in batches[1:]:
+                machine.pcie.h2d(extra.x.logical_nbytes, tag="dp-features")
+                for adj in extra.adjs:
+                    machine.pcie.h2d(adj.structure_nbytes(), tag="dp-graph")
+                machine.pcie.h2d(extra.y_logical_nbytes, tag="dp-labels")
+
+        # (3) replica compute: rank 0 runs physically; ranks 1..k-1 are
+        # credited the same busy window (symmetric shards).
+        with profiler.phase("training"), self.framework.activate():
+            start = machine.clock.now
+            self.model.train()
+            self.optimizer.zero_grad()
+            logits = self.model(batch0.adjs, batch0.x)
+            loss = self.loss_fn(logits, batch0.y)
+            loss.backward()
+            compute = machine.clock.now - start
+            if self._replica_names():
+                machine.clock.occupy_parallel(
+                    {name: compute for name in self._replica_names()},
+                    tag="dp-replica-compute", backfill=True,
+                )
+            # (4) gradient synchronization + identical updates everywhere.
+            ring_allreduce(machine, self._grad_nbytes(), tag="dp-allreduce")
+            self.optimizer.step()
+        return loss.item()
+
+    # ------------------------------------------------------------------
+    def run(self) -> ScalingResult:
+        machine = self.machine
+        k = machine.num_gpus
+        with self.profiler.phase("data_movement"), self.framework.activate():
+            self.model.to(machine.gpus[0], link=machine.pcie)
+        self.optimizer = Adam(self.model.parameters(), lr=self.lr)
+
+        batches_per_epoch = self.sampler.num_batches()
+        steps_per_epoch = max(1, int(np.ceil(batches_per_epoch / k)))
+        reps = min(self.representative_steps, steps_per_epoch)
+        shard_size = self.sampler.algorithm.actual_batch_size
+        train = self.fgraph.graph.train_nodes()
+        rng = np.random.default_rng(0)
+        losses: List[float] = []
+
+        for _ in range(self.epochs):
+            order = rng.permutation(train)
+            usage_before = self._usage_snapshot()
+            phases_before = self.profiler.snapshot()
+            wall_before = machine.clock.now
+            executed = 0
+            for step in range(reps):
+                shards = []
+                for rank in range(k):
+                    lo = (step * k + rank) * shard_size
+                    roots = order[lo:lo + shard_size]
+                    if roots.size == 0:
+                        roots = order[:shard_size]
+                    shards.append(roots)
+                losses.append(self._step(shards))
+                executed += 1
+            remaining = steps_per_epoch - executed
+            if remaining > 0 and executed > 0:
+                self._extrapolate(usage_before, phases_before, wall_before,
+                                  executed, remaining)
+
+        start = 0.0
+        end = machine.clock.now
+        return ScalingResult(
+            num_gpus=k,
+            epochs=self.epochs,
+            steps_per_epoch=steps_per_epoch,
+            phases=self.profiler.snapshot(),
+            losses=losses,
+            gpu_energy=machine.total_gpu_energy(start, end),
+            cpu_energy=machine.energy("cpu", start, end),
+        )
+
+    # ------------------------------------------------------------------
+    def _usage_snapshot(self) -> Dict[str, float]:
+        snap = {"cpu": self.machine.cpu.counters.busy_seconds,
+                "pcie": self.machine.pcie.counters.seconds}
+        for gpu in self.machine.gpus:
+            snap[gpu.name] = self.machine.clock.busy_time(gpu.name)
+        return snap
+
+    def _extrapolate(self, busy_before: Dict[str, float],
+                     phases_before: Dict[str, float], wall_before: float,
+                     executed: int, remaining: int) -> None:
+        """Charge the unexecuted steps of the epoch at measured rates.
+
+        Serial resources (CPU, PCIe, rank-0 GPU) are occupied for their
+        scaled busy deltas; replica GPUs are backfilled in parallel; any
+        leftover measured wall time advances as idle.  Phase totals scale
+        by the same factor.
+        """
+        machine = self.machine
+        clock = machine.clock
+        scale = remaining / executed
+        wall_epoch = clock.now - wall_before
+        busy_after = self._usage_snapshot()
+
+        serial_names = {"cpu": machine.cpu.name, "pcie": "pcie",
+                        machine.gpus[0].name: machine.gpus[0].name}
+        replica_names = set(self._replica_names())
+        serial_total = 0.0
+        replica_deltas: Dict[str, float] = {}
+        for key, after_value in busy_after.items():
+            delta = (after_value - busy_before.get(key, 0.0)) * scale
+            if delta <= 0:
+                continue
+            if key in replica_names:
+                replica_deltas[key] = delta
+            else:
+                clock.occupy(serial_names.get(key, key), delta,
+                             tag="dp-extrapolate")
+                serial_total += delta
+        if replica_deltas:
+            # Replicas ran concurrently with the serial segment just
+            # charged; credit them inside that window.
+            clock.occupy_parallel(replica_deltas, tag="dp-extrapolate",
+                                  backfill=True)
+        idle = wall_epoch * scale - serial_total
+        if idle > 0:
+            clock.advance(idle)
+        for phase in ("sampling", "data_movement", "training"):
+            delta = (self.profiler.seconds(phase)
+                     - phases_before.get(phase, 0.0))
+            if delta > 0:
+                self.profiler.add(phase, delta * scale)

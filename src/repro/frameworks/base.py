@@ -1,0 +1,471 @@
+"""Shared framework machinery: graph objects, batches, sampler wrappers.
+
+A :class:`Framework` instance owns a :class:`FrameworkProfile` and exposes
+the user-facing API (load a dataset, build samplers, build conv layers).
+Behavioural differences between DGLite and PyGLite live in (a) the profile
+constants and (b) the layer implementations in each framework's ``nn``
+module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.base import build_dataset
+from repro.datasets.registry import dataset_spec
+from repro.datasets.storage import stored_nbytes
+from repro.errors import DeviceError, SamplerError
+from repro.graph.graph import Graph
+from repro.hardware.device import Device, KernelCost
+from repro.hardware.machine import Machine
+from repro.kernels.adj import SparseAdj
+from repro.kernels.transfer import adj_to_device, to_device
+from repro.frameworks.profiles import FrameworkProfile
+from repro.sampling.base import BlockSample, SubgraphSample
+from repro.sampling.cluster import ClusterSampler
+from repro.sampling.neighbor import NeighborSampler
+from repro.sampling.randomwalk import RandomWalkSampler
+from repro.tensor.context import use_profile
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class FrameworkGraph:
+    """A dataset loaded into a framework: graph object + feature storage."""
+
+    framework: "Framework"
+    graph: Graph
+    machine: Machine
+    adj: SparseAdj
+    features: Tensor
+    labels: np.ndarray
+    preloaded_gpu: bool = False
+    _csc_ready: bool = False
+    _gpu_features: Optional[Tensor] = None
+    _gpu_adj: Optional[SparseAdj] = None
+
+    @property
+    def stats(self):
+        return self.graph.stats
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def label_nbytes_per_node(self) -> float:
+        return 4.0 * self.labels.shape[1] if self.labels.ndim == 2 else 8.0
+
+    def preload_to_gpu(self) -> None:
+        """Copy the full graph + features to GPU upfront (case study 1).
+
+        Charges one bulk transfer and pins the logical bytes in GPU memory
+        — infeasible (OOM) when the graph does not fit, as the paper notes.
+        """
+        machine = self.machine
+        if machine.gpu is None:
+            raise DeviceError("cannot pre-load: machine has no GPU")
+        with self.framework.activate():
+            self._gpu_features = to_device(
+                self.features, machine.gpu, machine.pcie, tag="preload-features"
+            )
+            machine.gpu.memory.alloc(int(self.adj.structure_nbytes()), label="preload-graph")
+            self._gpu_adj = adj_to_device(self.adj, machine.gpu, machine.pcie, tag="preload-graph")
+        self.preloaded_gpu = True
+
+    def features_on(self, device: Device) -> Tensor:
+        if device.kind == "gpu" and self._gpu_features is not None:
+            return self._gpu_features
+        return self.features
+
+    def adj_on(self, device: Device) -> SparseAdj:
+        if device.kind == "gpu" and self._gpu_adj is not None:
+            return self._gpu_adj
+        return self.adj
+
+
+@dataclass
+class FrameworkBatch:
+    """One mini-batch ready for a forward/backward pass.
+
+    ``adjs`` holds one bipartite block per layer (GraphSAGE) or a single
+    square subgraph adjacency (ClusterGCN / GraphSAINT).  ``x`` is the
+    input feature tensor; ``y`` the labels of the rows the loss reads.
+    ``train_rows`` restricts the loss to training nodes for subgraph
+    batches (None = all output rows).
+    """
+
+    kind: str  # "blocks" | "subgraph"
+    adjs: List[SparseAdj]
+    x: Tensor
+    y: np.ndarray
+    y_logical_nbytes: float
+    train_rows: Optional[np.ndarray] = None
+    # Global ids of the rows of ``x`` (used by the feature-cache movement
+    # path to split hits from misses).
+    input_nodes: Optional[np.ndarray] = None
+
+    @property
+    def num_output_rows(self) -> int:
+        return int(self.y.shape[0])
+
+
+class Framework:
+    """Abstract GNN framework; subclasses provide name, profile, nn.
+
+    Passing ``profile`` to the constructor overrides the class default —
+    used by the calibration-sensitivity bench to perturb the tuned
+    constants without touching global state.
+    """
+
+    name: str = "abstract"
+    profile: FrameworkProfile = None  # type: ignore[assignment]
+
+    def __init__(self, profile: Optional[FrameworkProfile] = None) -> None:
+        if profile is not None:
+            self.profile = profile  # instance attribute shadows the class one
+
+    def activate(self):
+        """Context manager making this framework's cost profile active."""
+        return use_profile(self.profile.cost)
+
+    # ------------------------------------------------------------------
+    # data loading (Figure 3)
+    # ------------------------------------------------------------------
+    def load(self, name: str, machine: Machine, scale: float = 1.0) -> FrameworkGraph:
+        """Load a dataset from storage and build the framework graph object.
+
+        Charges (a) the storage read of the logical dataset bytes and
+        (b) graph-object construction at this framework's per-node/edge
+        rates, with the raw-processing penalty when the dataset is not
+        bundled in the framework's dataset module (Observation 1).
+        """
+        spec = dataset_spec(name)
+        graph = build_dataset(spec, scale=scale)
+        stats = graph.stats
+        with self.activate():
+            machine.read_storage(stored_nbytes(stats), tag=f"load:{name}")
+            bundled = bool(getattr(spec, self.profile.bundled_flag))
+            penalty = 1.0 if bundled else self.profile.raw_process_penalty
+            build_seconds = penalty * (
+                stats.logical_num_nodes * self.profile.loader_per_node
+                + stats.logical_num_edges * self.profile.loader_per_edge
+            )
+            machine.cpu.execute(
+                KernelCost(name="loader.build_graph", fixed_time=build_seconds)
+            )
+            features = Tensor(
+                graph.features, device=machine.cpu, work_scale=graph.node_scale,
+            )
+            adj = SparseAdj.from_graph(graph, device=machine.cpu)
+        return FrameworkGraph(
+            framework=self,
+            graph=graph,
+            machine=machine,
+            adj=adj,
+            features=features,
+            labels=graph.labels,
+        )
+
+    # ------------------------------------------------------------------
+    # conv layers (implemented by each framework's nn module)
+    # ------------------------------------------------------------------
+    def conv(self, kind: str, in_features: int, out_features: int, **kwargs):
+        raise NotImplementedError
+
+    def conv_kinds(self) -> Sequence[str]:
+        """The eight layers of the Figure 5 functional test."""
+        return ("gcn", "gcn2", "cheb", "sage", "gat", "gatv2", "tag", "sg")
+
+    def has_fused(self, kind: str) -> bool:
+        return kind in self.profile.fused_convs
+
+    # ------------------------------------------------------------------
+    # samplers (Figure 4)
+    # ------------------------------------------------------------------
+    def neighbor_sampler(self, fgraph: FrameworkGraph, fanouts=(25, 10),
+                         batch_size: int = 512, mode: str = "cpu",
+                         seed: Optional[int] = None) -> "WrappedNeighborSampler":
+        self._prepare_sampling(fgraph)
+        if mode == "gpu" and not self.profile.supports_gpu_sampling:
+            raise SamplerError(f"{self.name} has no GPU-based neighborhood sampler")
+        if mode == "uva" and not self.profile.supports_uva_sampling:
+            raise SamplerError(f"{self.name} has no UVA-based neighborhood sampler")
+        return WrappedNeighborSampler(self, fgraph, fanouts, batch_size, mode, seed)
+
+    def cluster_sampler(self, fgraph: FrameworkGraph, num_parts: int = 2000,
+                        parts_per_batch: int = 50,
+                        seed: Optional[int] = None) -> "WrappedClusterSampler":
+        self._prepare_sampling(fgraph)
+        return WrappedClusterSampler(self, fgraph, num_parts, parts_per_batch, seed)
+
+    def saint_sampler(self, fgraph: FrameworkGraph, num_roots: int = 3000,
+                      walk_length: int = 2,
+                      seed: Optional[int] = None) -> "WrappedSaintSampler":
+        self._prepare_sampling(fgraph)
+        return WrappedSaintSampler(self, fgraph, num_roots, walk_length, seed)
+
+    def extension_sampler(self, fgraph: FrameworkGraph, kind: str,
+                          seed: Optional[int] = None, **kwargs):
+        """Build one of the non-benchmarked samplers (see
+        :mod:`repro.frameworks.extensions`): "saint_node", "saint_edge",
+        "fastgcn", or "ladies"."""
+        from repro.frameworks.extensions import make_extension_sampler
+
+        return make_extension_sampler(self, fgraph, kind, seed=seed, **kwargs)
+
+    def _prepare_sampling(self, fgraph: FrameworkGraph) -> None:
+        """One-time CSR -> CSC conversion (PyG requirement, Observation 2)."""
+        if not self.profile.requires_csc or fgraph._csc_ready:
+            return
+        seconds = self.profile.csc_convert_per_edge * fgraph.stats.logical_num_edges
+        with self.activate():
+            fgraph.machine.cpu.execute(
+                KernelCost(name="csc.convert", fixed_time=seconds)
+            )
+        fgraph._csc_ready = True
+
+
+# ----------------------------------------------------------------------
+# sampler wrappers: algorithm + profile-charged cost + batch assembly
+# ----------------------------------------------------------------------
+class _SamplerWrapper:
+    """Common charging/assembly logic for the three wrapped samplers."""
+
+    kind: str = ""
+
+    def __init__(self, framework: Framework, fgraph: FrameworkGraph, mode: str = "cpu"):
+        if mode not in ("cpu", "gpu", "uva"):
+            raise SamplerError(f"unknown sampling mode {mode!r}")
+        self.framework = framework
+        self.fgraph = fgraph
+        self.mode = mode
+
+    @property
+    def machine(self) -> Machine:
+        return self.fgraph.machine
+
+    def _charge_sampling(self, items: float, fetch_bytes: float, hops: int = 1) -> None:
+        """Convert sampler work items into charged device time."""
+        machine = self.machine
+        profile = self.framework.profile
+        if self.mode == "cpu":
+            costs = profile.sampler_costs(self.kind)
+            seconds = costs.per_batch + items * costs.per_item
+            machine.cpu.execute(
+                KernelCost(name=f"{self.kind}.sample", fixed_time=seconds)
+            )
+            # Feature fetch: gather rows out of the feature matrix, which
+            # lives on GPU when the experiment pre-loaded it (case study 1).
+            fetch_device = self._feature_device()
+            eff = profile.cost.eff("index", fetch_device.kind)
+            fetch_device.execute(
+                KernelCost(
+                    name=f"{self.kind}.fetch",
+                    bytes_moved=2.0 * fetch_bytes,
+                    compute_eff=eff[0],
+                    memory_eff=eff[1],
+                )
+            )
+            return
+
+        gpu = machine.gpu
+        if gpu is None:
+            raise DeviceError("GPU sampling requested on a machine without GPU")
+        launch = profile.gpu_sampler_per_hop_launch * max(1, hops)
+        if self.mode == "gpu":
+            seconds = launch + items * profile.gpu_sampler_per_item
+            gpu.execute(KernelCost(name=f"{self.kind}.sample.gpu", fixed_time=seconds))
+            gpu.execute(
+                KernelCost(
+                    name=f"{self.kind}.fetch.gpu",
+                    bytes_moved=2.0 * fetch_bytes,
+                    compute_eff=0.7,
+                    memory_eff=0.7,
+                )
+            )
+        else:  # uva: zero-copy reads of pinned host memory
+            structure_bytes = items * 16.0  # indices + offsets per element
+            uva_seconds = machine.pcie.uva_read_time(structure_bytes + fetch_bytes)
+            seconds = launch + max(items * profile.gpu_sampler_per_item, uva_seconds)
+            gpu.execute(KernelCost(name=f"{self.kind}.sample.uva", fixed_time=seconds))
+            machine.pcie.record_uva(structure_bytes + fetch_bytes)
+
+    def _feature_device(self) -> Device:
+        """Where fetched batch features land."""
+        if self.mode in ("gpu", "uva") or self.fgraph.preloaded_gpu:
+            return self.machine.gpu
+        return self.machine.cpu
+
+
+class _BlockSamplerWrapper(_SamplerWrapper):
+    """Shared assembly for block-batch samplers (neighbor / layer-wise)."""
+
+    def _hops(self) -> int:
+        return 1
+
+    def _assemble(self, sample: BlockSample) -> FrameworkBatch:
+        self._charge_sampling(
+            sample.work.items, sample.work.fetch_bytes, hops=self._hops()
+        )
+        device = self._feature_device()
+        graph = self.fgraph.graph
+        adjs = [
+            SparseAdj(
+                block.src,
+                block.dst,
+                num_src=block.src_nodes.size,
+                num_dst=block.dst_nodes.size,
+                device=self.machine.cpu if self.mode == "cpu" else device,
+                node_scale=block.node_scale,
+                edge_scale=block.edge_scale,
+            )
+            for block in sample.blocks
+        ]
+        input_scale = sample.blocks[0].edge_scale  # input frontier ratio
+        features = self.fgraph.features_on(device)
+        x = Tensor(
+            features.data[sample.input_nodes],
+            device=device,
+            work_scale=max(1.0, input_scale),
+        )
+        y = graph.labels[sample.output_nodes]
+        y_bytes = sample.output_nodes.size * graph.node_scale * (
+            4.0 * y.shape[1] if y.ndim == 2 else 8.0
+        )
+        return FrameworkBatch(kind="blocks", adjs=adjs, x=x, y=y,
+                              y_logical_nbytes=y_bytes,
+                              input_nodes=sample.input_nodes)
+
+    def num_batches(self) -> int:
+        return self.algorithm.num_batches(int(self.fgraph.graph.train_mask.sum()))
+
+    def sample(self, roots: np.ndarray) -> FrameworkBatch:
+        with self.framework.activate():
+            return self._assemble(self.algorithm.sample(roots))
+
+    def epoch(self, shuffle: bool = True) -> Iterator[FrameworkBatch]:
+        train = self.fgraph.graph.train_nodes()
+        if shuffle:
+            train = self.algorithm.rng.permutation(train)
+        step = self.algorithm.actual_batch_size
+        for start in range(0, train.size, step):
+            roots = train[start:start + step]
+            if roots.size:
+                yield self.sample(roots)
+
+
+class WrappedNeighborSampler(_BlockSamplerWrapper):
+    """GraphSAGE neighborhood sampler with CPU / GPU / UVA execution."""
+
+    kind = "neighbor"
+
+    def __init__(self, framework, fgraph, fanouts, batch_size, mode, seed):
+        super().__init__(framework, fgraph, mode)
+        if mode == "gpu" and not fgraph.preloaded_gpu:
+            raise SamplerError(
+                "GPU-based sampling requires the graph pre-loaded to GPU "
+                "(call fgraph.preload_to_gpu() first)"
+            )
+        self.algorithm = NeighborSampler(fgraph.graph, fanouts, batch_size, seed)
+
+    def _hops(self) -> int:
+        return len(self.algorithm.fanouts)
+
+
+class _SubgraphSamplerWrapper(_SamplerWrapper):
+    """Shared assembly for subgraph-batch samplers (cluster / SAINT)."""
+
+    def _assemble(self, sample: SubgraphSample) -> FrameworkBatch:
+        self._charge_sampling(sample.work.items, sample.work.fetch_bytes)
+        device = self._feature_device()
+        graph = self.fgraph.graph
+        adj = SparseAdj(
+            sample.src,
+            sample.dst,
+            num_src=sample.num_nodes,
+            num_dst=sample.num_nodes,
+            device=device,
+            node_scale=sample.node_scale,
+            edge_scale=sample.edge_scale,
+        )
+        features = self.fgraph.features_on(device)
+        x = Tensor(
+            features.data[sample.nodes],
+            device=device,
+            work_scale=sample.node_scale,
+        )
+        y = graph.labels[sample.nodes]
+        train_rows = np.nonzero(graph.train_mask[sample.nodes])[0]
+        y_bytes = sample.num_nodes * sample.node_scale * (
+            4.0 * y.shape[1] if y.ndim == 2 else 8.0
+        )
+        return FrameworkBatch(kind="subgraph", adjs=[adj], x=x, y=y,
+                              y_logical_nbytes=y_bytes, train_rows=train_rows,
+                              input_nodes=sample.nodes)
+
+
+class WrappedClusterSampler(_SubgraphSamplerWrapper):
+    """ClusterGCN sampler: charges METIS once, then cluster aggregation."""
+
+    kind = "cluster"
+
+    def __init__(self, framework, fgraph, num_parts, parts_per_batch, seed):
+        super().__init__(framework, fgraph, mode="cpu")
+        self.algorithm = ClusterSampler(fgraph.graph, num_parts, parts_per_batch, seed)
+        self._partitioned = False
+
+    def ensure_partitioned(self) -> None:
+        """Run (and charge) the one-time METIS-substitute partitioning."""
+        if self._partitioned:
+            return
+        with self.framework.activate():
+            _ = self.algorithm.partition  # actually compute it
+            seconds = (
+                self.framework.profile.metis_per_edge
+                * self.algorithm.partition_work_items
+            )
+            self.machine.cpu.execute(KernelCost(name="metis.partition", fixed_time=seconds))
+        self._partitioned = True
+
+    def num_batches(self) -> int:
+        return self.algorithm.num_batches()
+
+    def sample(self, part_ids: Optional[np.ndarray] = None) -> FrameworkBatch:
+        self.ensure_partitioned()
+        with self.framework.activate():
+            return self._assemble(self.algorithm.sample(part_ids))
+
+    def epoch(self) -> Iterator[FrameworkBatch]:
+        self.ensure_partitioned()
+        with self.framework.activate():
+            for sample in self.algorithm.epoch_batches():
+                yield self._assemble(sample)
+
+
+class WrappedSaintSampler(_SubgraphSamplerWrapper):
+    """GraphSAINT random-walk sampler."""
+
+    kind = "saint_rw"
+
+    def __init__(self, framework, fgraph, num_roots, walk_length, seed):
+        super().__init__(framework, fgraph, mode="cpu")
+        self.algorithm = RandomWalkSampler(fgraph.graph, num_roots, walk_length, seed)
+
+    def num_batches(self) -> int:
+        return self.algorithm.num_batches()
+
+    def sample(self, roots: Optional[np.ndarray] = None) -> FrameworkBatch:
+        with self.framework.activate():
+            return self._assemble(self.algorithm.sample(roots))
+
+    def epoch(self) -> Iterator[FrameworkBatch]:
+        with self.framework.activate():
+            for sample in self.algorithm.epoch_batches():
+                yield self._assemble(sample)

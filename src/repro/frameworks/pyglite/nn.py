@@ -1,0 +1,286 @@
+"""PyGLite conv layers — MessagePassing with partial fused support.
+
+Layers with a torch-sparse fused path (GCNConv, GCN2Conv, SAGEConv,
+TAGConv, SGConv) call ``spmm`` like DGLite does — but the active PyGLite
+profile prices that kernel at torch-sparse efficiency (much slower on CPU).
+
+ChebConv, GATConv, and GATv2Conv have **no fused path in PyG**: they run
+the literal gather -> per-edge compute -> scatter pipeline, materializing
+``E x F`` message buffers whose logical allocation OOMs the 48 GB GPU on
+Reddit / ogbn-products (Observation 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frameworks.common import (
+    dst_rows,
+    gcn_norm_weight,
+    mean_norm_weight,
+    neg_laplacian_weight,
+    with_self_loops,
+)
+from repro.kernels.adj import SparseAdj
+from repro.kernels.scatter import gather, scatter_add
+from repro.kernels.sddmm import segment_softmax
+from repro.kernels.spmm import spmm
+from repro.tensor import functional as F
+from repro.tensor import init
+from repro.tensor.module import Linear, Module, Parameter
+from repro.tensor.tensor import Tensor
+
+
+class GCNConv(Module):
+    """GCN layer via the fused torch-sparse ``matmul`` path."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, out_features, bias=bias, seed=seed)
+
+    def forward(self, adj: SparseAdj, x: Tensor) -> Tensor:
+        adj_sl = with_self_loops(adj)
+        norm = gcn_norm_weight(adj_sl)
+        h = self.linear(x)
+        return spmm(adj_sl, h, weight=norm)
+
+
+class GCN2Conv(Module):
+    """GCNII layer via the fused path (PyG provides SparseTensor support)."""
+
+    def __init__(self, in_features: int, out_features: int, alpha: float = 0.1,
+                 beta: float = 0.5, seed: Optional[int] = None) -> None:
+        super().__init__()
+        if in_features != out_features:
+            raise ValueError("GCN2Conv requires in_features == out_features")
+        self.alpha = alpha
+        self.beta = beta
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), seed=seed))
+
+    def forward(self, adj: SparseAdj, x: Tensor, x0: Optional[Tensor] = None) -> Tensor:
+        if x0 is None:
+            x0 = x
+        adj_sl = with_self_loops(adj)
+        norm = gcn_norm_weight(adj_sl)
+        h = spmm(adj_sl, x, weight=norm)
+        support = h * (1.0 - self.alpha) + x0 * self.alpha
+        return support * (1.0 - self.beta) + (support @ self.weight) * self.beta
+
+
+class ChebConv(Module):
+    """Chebyshev conv — **unfused** in PyG: gather/scatter per hop."""
+
+    def __init__(self, in_features: int, out_features: int, k: int = 3,
+                 bias: bool = True, seed: Optional[int] = None) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError("ChebConv order k must be >= 1")
+        self.k = k
+        for i in range(k):
+            setattr(self, f"lin{i}", Linear(in_features, out_features,
+                                            bias=(bias and i == 0),
+                                            seed=None if seed is None else seed + i))
+
+    def _propagate(self, adj: SparseAdj, x: Tensor, norm: Tensor) -> Tensor:
+        # gather materializes E x F messages — the unfused path's cost.
+        messages = gather(adj, x, side="src")
+        messages = messages * norm.reshape(adj.num_edges, 1)
+        return scatter_add(adj, messages)
+
+    def forward(self, adj: SparseAdj, x: Tensor) -> Tensor:
+        norm = neg_laplacian_weight(adj)
+        t_prev, t_curr = None, x
+        out = self.lin0(x)
+        for i in range(1, self.k):
+            if i == 1:
+                t_next = self._propagate(adj, t_curr, norm)
+            else:
+                t_next = self._propagate(adj, t_curr, norm) * 2.0 - t_prev
+            out = out + getattr(self, f"lin{i}")(t_next)
+            t_prev, t_curr = t_curr, t_next
+        return out
+
+
+class SAGEConv(Module):
+    """GraphSAGE mean layer via the fused path (bipartite-capable)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        self.lin_self = Linear(in_features, out_features, bias=bias, seed=seed)
+        self.lin_neigh = Linear(in_features, out_features, bias=False,
+                                seed=None if seed is None else seed + 100)
+
+    def forward(self, adj: SparseAdj, x: Tensor) -> Tensor:
+        mean_w = mean_norm_weight(adj)
+        aggregated = spmm(adj, x, weight=mean_w)
+        return self.lin_self(dst_rows(x, adj)) + self.lin_neigh(aggregated)
+
+
+class GATConv(Module):
+    """GAT layer — **unfused** in PyG: per-edge feature materialization."""
+
+    def __init__(self, in_features: int, out_features: int, heads: int = 4,
+                 negative_slope: float = 0.2, seed: Optional[int] = None) -> None:
+        super().__init__()
+        if out_features % heads:
+            raise ValueError("out_features must be divisible by heads")
+        self.heads = heads
+        self.head_dim = out_features // heads
+        self.negative_slope = negative_slope
+        self.lin = Linear(in_features, out_features, bias=False, seed=seed)
+        self.att_src = Parameter(
+            init.xavier_uniform((heads, self.head_dim),
+                                seed=None if seed is None else seed + 200)
+        )
+        self.att_dst = Parameter(
+            init.xavier_uniform((heads, self.head_dim),
+                                seed=None if seed is None else seed + 201)
+        )
+
+    def forward(self, adj: SparseAdj, x: Tensor) -> Tensor:
+        z = self.lin(x).reshape(x.shape[0], self.heads, self.head_dim)
+        z_dst = dst_rows(z, adj)
+        # Unfused: materialize endpoint features per edge (E x H x D).
+        z_src_e = gather(adj, z, side="src")
+        z_dst_e = gather(adj, z_dst, side="dst")
+        scores = (z_src_e * self.att_src).sum(axis=2) + (z_dst_e * self.att_dst).sum(axis=2)
+        scores = F.leaky_relu(scores, self.negative_slope)
+        alpha = segment_softmax(adj, scores)
+        messages = z_src_e * alpha.reshape(adj.num_edges, self.heads, 1)
+        out = scatter_add(adj, messages)
+        return out.reshape(adj.num_dst, self.heads * self.head_dim)
+
+
+class GATv2Conv(Module):
+    """GATv2 layer — **unfused** in PyG (per-edge MLP inputs materialized)."""
+
+    def __init__(self, in_features: int, out_features: int, heads: int = 4,
+                 negative_slope: float = 0.2, seed: Optional[int] = None) -> None:
+        super().__init__()
+        if out_features % heads:
+            raise ValueError("out_features must be divisible by heads")
+        self.heads = heads
+        self.head_dim = out_features // heads
+        self.negative_slope = negative_slope
+        self.lin_src = Linear(in_features, out_features, bias=False, seed=seed)
+        self.lin_dst = Linear(in_features, out_features, bias=False,
+                              seed=None if seed is None else seed + 300)
+        self.att = Parameter(
+            init.xavier_uniform((heads, self.head_dim),
+                                seed=None if seed is None else seed + 301)
+        )
+
+    def forward(self, adj: SparseAdj, x: Tensor) -> Tensor:
+        z_src = self.lin_src(x).reshape(x.shape[0], self.heads, self.head_dim)
+        z_dst = self.lin_dst(dst_rows(x, adj)).reshape(adj.num_dst, self.heads, self.head_dim)
+        g_src = gather(adj, z_src, side="src")
+        g_dst = gather(adj, z_dst, side="dst")
+        combined = F.leaky_relu(g_src + g_dst, self.negative_slope)
+        scores = (combined * self.att).sum(axis=2)
+        alpha = segment_softmax(adj, scores)
+        messages = g_src * alpha.reshape(adj.num_edges, self.heads, 1)
+        out = scatter_add(adj, messages)
+        return out.reshape(adj.num_dst, self.heads * self.head_dim)
+
+
+class TAGConv(Module):
+    """TAG layer via the fused path."""
+
+    def __init__(self, in_features: int, out_features: int, k: int = 3,
+                 bias: bool = True, seed: Optional[int] = None) -> None:
+        super().__init__()
+        if k < 0:
+            raise ValueError("TAGConv k must be >= 0")
+        self.k = k
+        for i in range(k + 1):
+            setattr(self, f"lin{i}", Linear(in_features, out_features,
+                                            bias=(bias and i == 0),
+                                            seed=None if seed is None else seed + i))
+
+    def forward(self, adj: SparseAdj, x: Tensor) -> Tensor:
+        adj_sl = with_self_loops(adj)
+        norm = gcn_norm_weight(adj_sl)
+        out = self.lin0(x)
+        h = x
+        for i in range(1, self.k + 1):
+            h = spmm(adj_sl, h, weight=norm)
+            out = out + getattr(self, f"lin{i}")(h)
+        return out
+
+
+class SGConv(Module):
+    """SGC layer via the fused path."""
+
+    def __init__(self, in_features: int, out_features: int, k: int = 2,
+                 bias: bool = True, seed: Optional[int] = None) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError("SGConv k must be >= 1")
+        self.k = k
+        self.linear = Linear(in_features, out_features, bias=bias, seed=seed)
+
+    def forward(self, adj: SparseAdj, x: Tensor) -> Tensor:
+        adj_sl = with_self_loops(adj)
+        norm = gcn_norm_weight(adj_sl)
+        h = x
+        for _ in range(self.k):
+            h = spmm(adj_sl, h, weight=norm)
+        return self.linear(h)
+
+
+class APPNPConv(Module):
+    """APPNP via the fused torch-sparse path (PyG provides one)."""
+
+    def __init__(self, in_features: int, out_features: int, k: int = 10,
+                 alpha: float = 0.1, seed: Optional[int] = None) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError("APPNP k must be >= 1")
+        if not (0.0 < alpha < 1.0):
+            raise ValueError("APPNP alpha must be in (0, 1)")
+        self.k = k
+        self.alpha = alpha
+        self.linear = Linear(in_features, out_features, seed=seed)
+
+    def forward(self, adj: SparseAdj, x: Tensor) -> Tensor:
+        adj_sl = with_self_loops(adj)
+        norm = gcn_norm_weight(adj_sl)
+        h = self.linear(x)
+        z = h
+        for _ in range(self.k):
+            z = spmm(adj_sl, z, weight=norm) * (1.0 - self.alpha) + h * self.alpha
+        return z
+
+
+class GINConv(Module):
+    """GIN — **unfused** in PyG (its MessagePassing default): gather/scatter."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        self.eps = Parameter(init.zeros((1,)))
+        self.lin1 = Linear(in_features, out_features, seed=seed)
+        self.lin2 = Linear(out_features, out_features,
+                           seed=None if seed is None else seed + 1)
+
+    def forward(self, adj: SparseAdj, x: Tensor) -> Tensor:
+        messages = gather(adj, x, side="src")
+        aggregated = scatter_add(adj, messages)
+        combined = x * (self.eps + 1.0) + aggregated
+        return self.lin2(F.relu(self.lin1(combined)))
+
+
+class GraphConv(Module):
+    """Plain sum-aggregation convolution via the fused path."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, out_features, bias=bias, seed=seed)
+
+    def forward(self, adj: SparseAdj, x: Tensor) -> Tensor:
+        adj_sl = with_self_loops(adj)
+        h = self.linear(x)
+        return spmm(adj_sl, h)

@@ -1,0 +1,24 @@
+"""Graph data structures: adjacency formats, the Graph container, generators.
+
+The adjacency classes are deliberately format-explicit (COO / CSR / CSC)
+because format conversions are a real cost the paper measures: PyG's
+samplers require CSC and the conversion "turns out to be quite slow on
+large datasets" (Observation 2).
+"""
+
+from repro.graph.formats import AdjacencyCOO, AdjacencyCSR, AdjacencyCSC
+from repro.graph.graph import Graph, GraphStats, Split
+from repro.graph import generators
+from repro.graph.partition import partition_graph, PartitionResult
+
+__all__ = [
+    "AdjacencyCOO",
+    "AdjacencyCSC",
+    "AdjacencyCSR",
+    "Graph",
+    "GraphStats",
+    "PartitionResult",
+    "Split",
+    "generators",
+    "partition_graph",
+]

@@ -1,0 +1,218 @@
+"""Sparse adjacency formats and conversions.
+
+All three formats describe a directed edge set over ``num_nodes`` nodes;
+undirected graphs store both directions.  Conversions are implemented with
+numpy sorting primitives (no scipy) so their work can be charged faithfully
+by the kernels layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+INDEX_DTYPE = np.int64
+
+
+def _as_index(arr) -> np.ndarray:
+    out = np.asarray(arr, dtype=INDEX_DTYPE)
+    if out.ndim != 1:
+        raise GraphFormatError("index arrays must be 1-D")
+    return out
+
+
+@dataclass(frozen=True)
+class AdjacencyCOO:
+    """Edge list: ``(src[i], dst[i])`` is the i-th directed edge."""
+
+    num_nodes: int
+    src: np.ndarray
+    dst: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", _as_index(self.src))
+        object.__setattr__(self, "dst", _as_index(self.dst))
+        if self.src.shape != self.dst.shape:
+            raise GraphFormatError("src and dst must have equal length")
+        if self.num_nodes < 0:
+            raise GraphFormatError("num_nodes must be non-negative")
+        if self.src.size and (self.src.max() >= self.num_nodes or self.src.min() < 0):
+            raise GraphFormatError("src index out of range")
+        if self.dst.size and (self.dst.max() >= self.num_nodes or self.dst.min() < 0):
+            raise GraphFormatError("dst index out of range")
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.size)
+
+    def to_csr(self) -> "AdjacencyCSR":
+        """Sort edges by source and build row pointers."""
+        order = np.argsort(self.src, kind="stable")
+        sorted_src = self.src[order]
+        indptr = np.zeros(self.num_nodes + 1, dtype=INDEX_DTYPE)
+        counts = np.bincount(sorted_src, minlength=self.num_nodes)
+        indptr[1:] = np.cumsum(counts)
+        return AdjacencyCSR(self.num_nodes, indptr, self.dst[order], edge_ids=order)
+
+    def to_csc(self) -> "AdjacencyCSC":
+        """Sort edges by destination and build column pointers."""
+        order = np.argsort(self.dst, kind="stable")
+        sorted_dst = self.dst[order]
+        indptr = np.zeros(self.num_nodes + 1, dtype=INDEX_DTYPE)
+        counts = np.bincount(sorted_dst, minlength=self.num_nodes)
+        indptr[1:] = np.cumsum(counts)
+        return AdjacencyCSC(self.num_nodes, indptr, self.src[order], edge_ids=order)
+
+    def reverse(self) -> "AdjacencyCOO":
+        return AdjacencyCOO(self.num_nodes, self.dst, self.src)
+
+    def out_degrees(self) -> np.ndarray:
+        return np.bincount(self.src, minlength=self.num_nodes).astype(INDEX_DTYPE)
+
+    def in_degrees(self) -> np.ndarray:
+        return np.bincount(self.dst, minlength=self.num_nodes).astype(INDEX_DTYPE)
+
+
+@dataclass(frozen=True)
+class AdjacencyCSR:
+    """Compressed sparse row: out-neighbors of node u are
+    ``indices[indptr[u]:indptr[u+1]]``.
+
+    ``edge_ids`` maps each CSR position back to the originating COO edge id,
+    which keeps per-edge data (attention scores, weights) aligned across
+    format conversions.
+    """
+
+    num_nodes: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    edge_ids: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "indptr", _as_index(self.indptr))
+        object.__setattr__(self, "indices", _as_index(self.indices))
+        if self.indptr.size != self.num_nodes + 1:
+            raise GraphFormatError("indptr must have num_nodes + 1 entries")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise GraphFormatError("indptr endpoints are inconsistent")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        if self.indices.size and (self.indices.max() >= self.num_nodes or self.indices.min() < 0):
+            raise GraphFormatError("neighbor index out of range")
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.size)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        return self.indices[self.indptr[node]:self.indptr[node + 1]]
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def to_coo(self) -> AdjacencyCOO:
+        src = np.repeat(np.arange(self.num_nodes, dtype=INDEX_DTYPE), np.diff(self.indptr))
+        return AdjacencyCOO(self.num_nodes, src, self.indices)
+
+    def to_csc(self) -> "AdjacencyCSC":
+        coo = self.to_coo()
+        return coo.to_csc()
+
+    def transpose(self) -> "AdjacencyCSR":
+        """CSR of the reversed edge set (used by SpMM backward)."""
+        coo = self.to_coo()
+        return coo.reverse().to_csr()
+
+
+@dataclass(frozen=True)
+class AdjacencyCSC:
+    """Compressed sparse column: in-neighbors of node v are
+    ``indices[indptr[v]:indptr[v+1]]``."""
+
+    num_nodes: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    edge_ids: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "indptr", _as_index(self.indptr))
+        object.__setattr__(self, "indices", _as_index(self.indices))
+        if self.indptr.size != self.num_nodes + 1:
+            raise GraphFormatError("indptr must have num_nodes + 1 entries")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise GraphFormatError("indptr endpoints are inconsistent")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        if self.indices.size and (self.indices.max() >= self.num_nodes or self.indices.min() < 0):
+            raise GraphFormatError("neighbor index out of range")
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.size)
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        return self.indices[self.indptr[node]:self.indptr[node + 1]]
+
+    def in_degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def to_coo(self) -> AdjacencyCOO:
+        dst = np.repeat(np.arange(self.num_nodes, dtype=INDEX_DTYPE), np.diff(self.indptr))
+        return AdjacencyCOO(self.num_nodes, self.indices, dst)
+
+
+def induced_subgraph(csr: AdjacencyCSR, nodes: np.ndarray) -> Tuple[AdjacencyCOO, np.ndarray]:
+    """Node-induced subgraph with relabelled node ids.
+
+    Returns the subgraph edge list (in local ids, ordered by the position
+    of each node in ``nodes``) and the original edge ids kept.
+    """
+    nodes = _as_index(nodes)
+    mapping = np.full(csr.num_nodes, -1, dtype=INDEX_DTYPE)
+    mapping[nodes] = np.arange(nodes.size, dtype=INDEX_DTYPE)
+    coo = csr.to_coo()
+    keep = (mapping[coo.src] >= 0) & (mapping[coo.dst] >= 0)
+    kept_ids = np.nonzero(keep)[0]
+    sub = AdjacencyCOO(nodes.size, mapping[coo.src[keep]], mapping[coo.dst[keep]])
+    return sub, kept_ids
+
+
+def remove_self_loops(coo: AdjacencyCOO) -> AdjacencyCOO:
+    keep = coo.src != coo.dst
+    return AdjacencyCOO(coo.num_nodes, coo.src[keep], coo.dst[keep])
+
+
+def add_self_loops(coo: AdjacencyCOO) -> AdjacencyCOO:
+    loop = np.arange(coo.num_nodes, dtype=INDEX_DTYPE)
+    return AdjacencyCOO(
+        coo.num_nodes,
+        np.concatenate([coo.src, loop]),
+        np.concatenate([coo.dst, loop]),
+    )
+
+
+def coalesce(coo: AdjacencyCOO) -> AdjacencyCOO:
+    """Remove duplicate edges, keeping the edge set sorted by (src, dst)."""
+    if coo.num_edges == 0:
+        return coo
+    keys = coo.src * coo.num_nodes + coo.dst
+    unique_keys = np.unique(keys)
+    return AdjacencyCOO(
+        coo.num_nodes,
+        (unique_keys // coo.num_nodes).astype(INDEX_DTYPE),
+        (unique_keys % coo.num_nodes).astype(INDEX_DTYPE),
+    )
+
+
+def symmetrize(coo: AdjacencyCOO) -> AdjacencyCOO:
+    """Make the edge set undirected (add reverse edges, dedupe)."""
+    both = AdjacencyCOO(
+        coo.num_nodes,
+        np.concatenate([coo.src, coo.dst]),
+        np.concatenate([coo.dst, coo.src]),
+    )
+    return coalesce(both)

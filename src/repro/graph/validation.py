@@ -1,0 +1,81 @@
+"""Structural validators for graphs and datasets.
+
+The dataset builders and storage loader run these checks so malformed
+graphs fail loudly at construction instead of corrupting experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+
+
+def validate_graph(graph: Graph, require_symmetric: bool = False) -> List[str]:
+    """Run all structural checks; returns a list of problem descriptions.
+
+    An empty list means the graph is well-formed.  ``require_symmetric``
+    additionally checks that every edge has its reverse (our synthetic
+    datasets are undirected).
+    """
+    problems: List[str] = []
+    adj = graph.adj
+
+    if adj.indptr[0] != 0 or adj.indptr[-1] != adj.indices.size:
+        problems.append("CSR indptr endpoints inconsistent")
+    if np.any(np.diff(adj.indptr) < 0):
+        problems.append("CSR indptr not monotone")
+    if adj.indices.size and (adj.indices.min() < 0
+                             or adj.indices.max() >= graph.num_nodes):
+        problems.append("neighbor index out of range")
+
+    if graph.features.shape[0] != graph.num_nodes:
+        problems.append("feature rows != num_nodes")
+    if not np.isfinite(graph.features).all():
+        problems.append("non-finite feature values")
+
+    if graph.stats.multilabel:
+        if graph.labels.ndim != 2:
+            problems.append("multilabel graph with 1-D labels")
+        elif not set(np.unique(graph.labels)) <= {0.0, 1.0}:
+            problems.append("multilabel labels not binary")
+    else:
+        if graph.labels.ndim != 1:
+            problems.append("single-label graph with 2-D labels")
+        elif graph.labels.size and (graph.labels.min() < 0
+                                    or graph.labels.max() >= graph.stats.num_classes):
+            problems.append("label value outside class range")
+
+    overlap = (graph.train_mask & graph.val_mask) | \
+              (graph.train_mask & graph.test_mask) | \
+              (graph.val_mask & graph.test_mask)
+    if overlap.any():
+        problems.append("split masks overlap")
+    if not (graph.train_mask | graph.val_mask | graph.test_mask).all():
+        problems.append("split masks do not cover all nodes")
+
+    if graph.stats.logical_num_nodes < graph.num_nodes:
+        problems.append("logical node count below actual (scale < 1)")
+    if graph.stats.logical_num_edges < graph.num_edges:
+        problems.append("logical edge count below actual (scale < 1)")
+
+    if require_symmetric:
+        coo = adj.to_coo()
+        pairs = set(zip(coo.src.tolist(), coo.dst.tolist()))
+        if any((d, s) not in pairs for s, d in pairs):
+            problems.append("edge set is not symmetric")
+
+    return problems
+
+
+def assert_valid_graph(graph: Graph, require_symmetric: bool = False) -> None:
+    """Raise GraphFormatError listing every failed check."""
+    problems = validate_graph(graph, require_symmetric=require_symmetric)
+    if problems:
+        raise GraphFormatError(
+            f"graph {graph.stats.name!r} failed validation: "
+            + "; ".join(problems)
+        )

@@ -1,0 +1,38 @@
+"""Simulated hardware: devices, memory, interconnects, and the machine.
+
+The paper's testbed (dual Intel Xeon Silver 4114, 64 GB RAM, NVIDIA Quadro
+RTX 8000 48 GB, PCIe 3.0 x16) is modelled as a :class:`Machine` whose
+devices execute kernels against a roofline-style cost model and advance a
+shared :class:`~repro.simtime.VirtualClock`.
+"""
+
+from repro.hardware.specs import (
+    CpuSpec,
+    DeviceSpec,
+    GpuSpec,
+    LinkSpec,
+    PAPER_CPU,
+    PAPER_GPU,
+    PAPER_PCIE,
+)
+from repro.hardware.memory import MemoryLedger, Allocation
+from repro.hardware.device import Device, KernelCost
+from repro.hardware.interconnect import Interconnect
+from repro.hardware.machine import Machine, paper_testbed
+
+__all__ = [
+    "Allocation",
+    "CpuSpec",
+    "Device",
+    "DeviceSpec",
+    "GpuSpec",
+    "Interconnect",
+    "KernelCost",
+    "LinkSpec",
+    "Machine",
+    "MemoryLedger",
+    "PAPER_CPU",
+    "PAPER_GPU",
+    "PAPER_PCIE",
+    "paper_testbed",
+]

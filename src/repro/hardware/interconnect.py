@@ -1,0 +1,73 @@
+"""Host <-> device interconnect: bulk DMA copies and UVA zero-copy reads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hardware.specs import LinkSpec
+from repro.simtime import VirtualClock
+
+
+@dataclass
+class TransferCounters:
+    transfers: int = 0
+    bytes_h2d: float = 0.0
+    bytes_d2h: float = 0.0
+    bytes_uva: float = 0.0
+    seconds: float = 0.0
+    by_tag: Dict[str, float] = field(default_factory=dict)
+
+
+class Interconnect:
+    """Simulated PCIe link between host memory and device memory.
+
+    Bulk copies (``h2d``/``d2h``) pay per-transfer latency plus bytes over
+    DMA bandwidth — this is the "data movement" phase the paper breaks out.
+    UVA zero-copy reads (``uva_read``) stream at the lower fine-grained
+    bandwidth and are charged to the *GPU* busy time, because the GPU's
+    copy engines stall on them during sampling (DGL-UVAGPU case study).
+    """
+
+    BUSY_KEY = "pcie"
+
+    def __init__(self, spec: LinkSpec, clock: VirtualClock) -> None:
+        self.spec = spec
+        self.clock = clock
+        self.counters = TransferCounters()
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Duration of a bulk DMA copy of ``nbytes`` logical bytes."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return self.spec.latency + nbytes / self.spec.bandwidth
+
+    def h2d(self, nbytes: float, tag: str = "h2d") -> float:
+        """Copy host -> device; advances the clock."""
+        seconds = self.transfer_time(nbytes)
+        self.clock.occupy(self.BUSY_KEY, seconds, tag=tag)
+        self.counters.transfers += 1
+        self.counters.bytes_h2d += nbytes
+        self.counters.seconds += seconds
+        self.counters.by_tag[tag] = self.counters.by_tag.get(tag, 0.0) + seconds
+        return seconds
+
+    def d2h(self, nbytes: float, tag: str = "d2h") -> float:
+        """Copy device -> host; advances the clock."""
+        seconds = self.transfer_time(nbytes)
+        self.clock.occupy(self.BUSY_KEY, seconds, tag=tag)
+        self.counters.transfers += 1
+        self.counters.bytes_d2h += nbytes
+        self.counters.seconds += seconds
+        self.counters.by_tag[tag] = self.counters.by_tag.get(tag, 0.0) + seconds
+        return seconds
+
+    def uva_read_time(self, nbytes: float) -> float:
+        """Duration for the GPU to read ``nbytes`` from pinned host memory."""
+        if self.spec.uva_bandwidth <= 0:
+            raise ValueError(f"{self.spec.name} does not support UVA zero-copy")
+        return self.spec.latency + nbytes / self.spec.uva_bandwidth
+
+    def record_uva(self, nbytes: float) -> None:
+        """Account UVA traffic (time is charged by the GPU kernel itself)."""
+        self.counters.bytes_uva += nbytes

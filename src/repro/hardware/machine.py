@@ -1,0 +1,121 @@
+"""The simulated machine: CPU + GPU + PCIe + storage on one virtual clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import DeviceError
+from repro.hardware.device import Device
+from repro.hardware.interconnect import Interconnect
+from repro.hardware.specs import (
+    CpuSpec,
+    GpuSpec,
+    LinkSpec,
+    PAPER_CPU,
+    PAPER_GPU,
+    PAPER_PCIE,
+)
+from repro.simtime import VirtualClock
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Local storage the data loader reads datasets from."""
+
+    name: str = "nvme-ssd"
+    read_bandwidth: float = 2.0e9  # bytes/s sequential read
+    seek_latency: float = 100e-6  # seconds per file open
+
+
+class Machine:
+    """One experiment testbed: devices, link, storage, shared clock.
+
+    Every benchmark builds a fresh ``Machine`` so that clocks, memory
+    ledgers, and counters never leak between experiments.
+    """
+
+    def __init__(
+        self,
+        cpu_spec: CpuSpec = PAPER_CPU,
+        gpu_spec: Optional[GpuSpec] = PAPER_GPU,
+        link_spec: LinkSpec = PAPER_PCIE,
+        storage_spec: StorageSpec = StorageSpec(),
+    ) -> None:
+        self.clock = VirtualClock()
+        self.cpu = Device(cpu_spec, self.clock)
+        self.gpu = Device(gpu_spec, self.clock) if gpu_spec is not None else None
+        self.pcie = Interconnect(link_spec, self.clock)
+        self.storage = storage_spec
+
+    def device(self, name: str) -> Device:
+        """Resolve ``"cpu"`` / ``"gpu"`` to the device object."""
+        if name == "cpu":
+            return self.cpu
+        if name == "gpu":
+            if self.gpu is None:
+                raise DeviceError("this machine has no GPU")
+            return self.gpu
+        raise DeviceError(f"unknown device {name!r} (expected 'cpu' or 'gpu')")
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.gpu is not None
+
+    def read_storage(self, nbytes: float, tag: str = "storage-read") -> float:
+        """Read ``nbytes`` from local storage into host memory."""
+        if nbytes < 0:
+            raise ValueError("negative read size")
+        seconds = self.storage.seek_latency + nbytes / self.storage.read_bandwidth
+        self.clock.occupy("storage", seconds, tag=tag)
+        return seconds
+
+    def power_draw(self, device_key: str, start: float, end: float) -> float:
+        """Average power (watts) of a device over [start, end)."""
+        dev = self.device(device_key)
+        span = end - start
+        if span <= 0:
+            return dev.spec.idle_power
+        busy = self.clock.busy_time(dev.name, start, end)
+        frac = min(1.0, busy / span)
+        return dev.spec.idle_power + frac * (dev.spec.busy_power - dev.spec.idle_power)
+
+    def energy(self, device_key: str, start: float, end: float) -> float:
+        """Energy (joules) consumed by a device over [start, end)."""
+        return self.power_draw(device_key, start, end) * max(0.0, end - start)
+
+    def counters_snapshot(self) -> Dict[str, float]:
+        """Aggregate activity counters, mainly for reports and tests."""
+        snap = {
+            "time": self.clock.now,
+            "cpu_kernels": self.cpu.counters.kernels,
+            "cpu_flops": self.cpu.counters.flops,
+            "pcie_bytes_h2d": self.pcie.counters.bytes_h2d,
+            "pcie_bytes_d2h": self.pcie.counters.bytes_d2h,
+            "pcie_bytes_uva": self.pcie.counters.bytes_uva,
+        }
+        if self.gpu is not None:
+            snap["gpu_kernels"] = self.gpu.counters.kernels
+            snap["gpu_flops"] = self.gpu.counters.flops
+        return snap
+
+
+def paper_testbed() -> Machine:
+    """A fresh machine matching the paper's hardware configuration."""
+    return Machine(PAPER_CPU, PAPER_GPU, PAPER_PCIE)
+
+
+def cpu_only_testbed() -> Machine:
+    """A machine without a GPU (negative-path tests)."""
+    return Machine(PAPER_CPU, None, PAPER_PCIE)
+
+
+def laptop_testbed() -> Machine:
+    """A consumer laptop (8-core mobile CPU, 6 GB mobile GPU).
+
+    Used by the hardware-portability ablation: weaker compute, far less
+    device memory, much lower power draw than the paper's server.
+    """
+    from repro.hardware.specs import LAPTOP_CPU, LAPTOP_GPU, LAPTOP_PCIE
+
+    return Machine(LAPTOP_CPU, LAPTOP_GPU, LAPTOP_PCIE)

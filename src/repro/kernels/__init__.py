@@ -1,0 +1,45 @@
+"""Cost-accounted sparse kernels shared by both framework implementations.
+
+These are the computational primitives the paper's kernel-level analysis
+talks about:
+
+* :func:`spmm` — fused (generalized) sparse-dense matmul, DGL's
+  ``g.update_all()`` path and PyG's ``matmul()`` on a SparseTensor.
+* :func:`gather` / :func:`scatter_add` — PyG's unfused gather-and-scatter
+  ``MessagePassing`` path; the gather materializes an ``E x F`` message
+  buffer (the source of PyG's OOMs on large graphs).
+* :func:`sddmm_u_add_v` / :func:`segment_softmax` — per-edge attention
+  primitives (GAT/GATv2), DGL's g-SDDMM path.
+
+Every kernel runs real numpy/scipy math and charges logical-scale roofline
+cost to the tensor's device under the active framework profile.
+"""
+
+from repro.kernels.adj import SparseAdj
+from repro.kernels.spmm import spmm
+from repro.kernels.scatter import gather, scatter_add, scatter_mean
+from repro.kernels.sddmm import (
+    fused_gatv2_scores,
+    sddmm_u_add_v,
+    sddmm_u_dot_v,
+    segment_softmax,
+)
+from repro.kernels.segment import segment_sum, segment_mean, segment_max
+from repro.kernels.transfer import graph_bytes, to_device
+
+__all__ = [
+    "SparseAdj",
+    "fused_gatv2_scores",
+    "gather",
+    "graph_bytes",
+    "scatter_add",
+    "scatter_mean",
+    "sddmm_u_add_v",
+    "sddmm_u_dot_v",
+    "segment_max",
+    "segment_mean",
+    "segment_softmax",
+    "segment_sum",
+    "spmm",
+    "to_device",
+]

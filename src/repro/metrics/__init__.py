@@ -1,0 +1,5 @@
+"""Efficiency metrics: GPS-UP (Speedup, Greenup, Powerup)."""
+
+from repro.metrics.gpsup import GpsUp, gps_up
+
+__all__ = ["GpsUp", "gps_up"]

@@ -1,0 +1,49 @@
+"""GPS-UP metrics (Abdulsalam et al., IGSC 2015) used in Figure 20.
+
+Given a baseline (non-optimized) run and an optimized run:
+
+    Speedup = T_base / T_opt
+    Greenup = E_base / E_opt
+    Powerup = P_opt / P_base = Speedup / Greenup
+
+Speedup > 1 means the optimization is faster; Greenup > 1 means it uses
+less total energy; Powerup > 1 means it draws *more* average power (it may
+still be greener if the speedup outweighs the draw).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpsUp:
+    """One Speedup/Greenup/Powerup triple."""
+
+    speedup: float
+    greenup: float
+
+    @property
+    def powerup(self) -> float:
+        return self.speedup / self.greenup
+
+    def category(self) -> str:
+        """The GPS-UP quadrant label used in the original taxonomy."""
+        fast = self.speedup > 1.0
+        green = self.greenup > 1.0
+        hot = self.powerup > 1.0
+        if fast and green:
+            return "green-fast" + ("-hot" if hot else "-cool")
+        if fast and not green:
+            return "red-fast"
+        if not fast and green:
+            return "green-slow"
+        return "red-slow"
+
+
+def gps_up(base_time: float, base_energy: float,
+           opt_time: float, opt_energy: float) -> GpsUp:
+    """Compute GPS-UP of an optimized run against its baseline."""
+    if min(base_time, base_energy, opt_time, opt_energy) <= 0:
+        raise ValueError("times and energies must be positive")
+    return GpsUp(speedup=base_time / opt_time, greenup=base_energy / opt_energy)

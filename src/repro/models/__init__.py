@@ -1,0 +1,30 @@
+"""The three benchmarked GNNs and their training pipelines.
+
+GraphSAGE, ClusterGCN, and GraphSAINT as configured in the paper
+(Section 4.2): two conv layers, identical hyperparameters across
+frameworks, trained for 10 epochs with the samplers of Section 4.1.
+"""
+
+from repro.models.base import BlockNet, SubgraphNet, make_loss
+from repro.models.trainer import MiniBatchTrainer, RunResult, TrainConfig
+from repro.models.graphsage import build_graphsage, graphsage_sampler
+from repro.models.clustergcn import build_clustergcn, clustergcn_sampler
+from repro.models.graphsaint import build_graphsaint, graphsaint_sampler
+from repro.models.fullbatch import FullBatchTrainer, build_fullbatch_sage
+
+__all__ = [
+    "BlockNet",
+    "FullBatchTrainer",
+    "MiniBatchTrainer",
+    "RunResult",
+    "SubgraphNet",
+    "TrainConfig",
+    "build_clustergcn",
+    "build_fullbatch_sage",
+    "build_graphsage",
+    "build_graphsaint",
+    "clustergcn_sampler",
+    "graphsage_sampler",
+    "graphsaint_sampler",
+    "make_loss",
+]

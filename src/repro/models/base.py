@@ -1,0 +1,98 @@
+"""Model skeletons shared by the three benchmarked GNNs."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.frameworks.base import Framework
+from repro.kernels.adj import SparseAdj
+from repro.tensor import functional as F
+from repro.tensor.module import Dropout, Module
+from repro.tensor.tensor import Tensor
+
+
+class BlockNet(Module):
+    """Layer-per-block GNN (GraphSAGE mini-batch style).
+
+    ``forward(adjs, x)`` consumes one bipartite block per layer: layer i
+    aggregates block i's sources into its destinations, whose output rows
+    feed layer i+1.
+    """
+
+    def __init__(self, layers: Sequence[Module], dropout: float = 0.5,
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for i, layer in enumerate(layers):
+            setattr(self, f"conv{i}", layer)
+            self._layers.append(layer)
+        self.dropout = Dropout(dropout, seed=seed)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self._layers)
+
+    def forward(self, adjs: Sequence[SparseAdj], x: Tensor) -> Tensor:
+        if len(adjs) != len(self._layers):
+            raise ValueError(
+                f"got {len(adjs)} blocks for {len(self._layers)} layers"
+            )
+        for i, (layer, adj) in enumerate(zip(self._layers, adjs)):
+            x = layer(adj, x)
+            if i < len(self._layers) - 1:
+                x = F.relu(x)
+                x = self.dropout(x)
+        return x
+
+
+class SubgraphNet(Module):
+    """Full-subgraph GNN (ClusterGCN / GraphSAINT mini-batch style).
+
+    ``forward(adj, x)`` applies every layer over the same square subgraph
+    adjacency.
+    """
+
+    def __init__(self, layers: Sequence[Module], dropout: float = 0.5,
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for i, layer in enumerate(layers):
+            setattr(self, f"conv{i}", layer)
+            self._layers.append(layer)
+        self.dropout = Dropout(dropout, seed=seed)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self._layers)
+
+    def forward(self, adj: SparseAdj, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self._layers):
+            x = layer(adj, x)
+            if i < len(self._layers) - 1:
+                x = F.relu(x)
+                x = self.dropout(x)
+        return x
+
+
+def make_loss(multilabel: bool) -> Callable[[Tensor, np.ndarray], Tensor]:
+    """The task loss: BCE for multi-label (PPI/Yelp), CE otherwise."""
+    if multilabel:
+        return F.binary_cross_entropy_with_logits
+    return F.cross_entropy
+
+
+def two_layer_net(framework: Framework, conv_kind: str, in_features: int,
+                  hidden: int, out_features: int, style: str,
+                  dropout: float = 0.5, seed: int = 0) -> Module:
+    """The paper's two-conv-layer model, built from a framework's nn."""
+    layers = [
+        framework.conv(conv_kind, in_features, hidden, seed=seed),
+        framework.conv(conv_kind, hidden, out_features, seed=seed + 1),
+    ]
+    if style == "blocks":
+        return BlockNet(layers, dropout=dropout, seed=seed + 2)
+    if style == "subgraph":
+        return SubgraphNet(layers, dropout=dropout, seed=seed + 2)
+    raise ValueError(f"unknown model style {style!r}")

@@ -1,0 +1,101 @@
+"""Model / optimizer checkpointing.
+
+Saves and restores training state (model parameters, Adam moments, step
+counter, RNG-free metadata) to a single ``.npz`` + JSON sidecar, so long
+simulated runs can resume and trained models can ship to the evaluation
+or inference stages in a separate process.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.tensor.module import Module
+from repro.tensor.optim import Adam, Optimizer
+
+_FORMAT_VERSION = 1
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written or restored."""
+
+
+def save_checkpoint(path: Union[str, Path], model: Module,
+                    optimizer: Optional[Optimizer] = None,
+                    metadata: Optional[Dict] = None) -> Path:
+    """Write model (and optionally optimizer) state to ``path``.
+
+    ``path`` should end in ``.npz``; a ``.json`` sidecar with metadata and
+    the parameter manifest is written next to it.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    arrays: Dict[str, np.ndarray] = {}
+    manifest = {"params": [], "optimizer": None,
+                "_format_version": _FORMAT_VERSION,
+                "metadata": metadata or {}}
+    for name, param in model.named_parameters():
+        arrays[f"param::{name}"] = param.data
+        manifest["params"].append(name)
+
+    if optimizer is not None:
+        if isinstance(optimizer, Adam):
+            manifest["optimizer"] = {"type": "adam", "lr": optimizer.lr,
+                                     "step": optimizer._step_count}
+            for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+                if m is not None:
+                    arrays[f"adam_m::{i}"] = m
+                    arrays[f"adam_v::{i}"] = v
+        else:
+            manifest["optimizer"] = {"type": type(optimizer).__name__.lower(),
+                                     "lr": optimizer.lr}
+
+    np.savez(path, **arrays)
+    sidecar = path.with_suffix(".json")
+    sidecar.write_text(json.dumps(manifest, indent=2))
+    return path
+
+
+def load_checkpoint(path: Union[str, Path], model: Module,
+                    optimizer: Optional[Optimizer] = None) -> Dict:
+    """Restore state saved by :func:`save_checkpoint`; returns metadata."""
+    path = Path(path)
+    sidecar = path.with_suffix(".json")
+    if not path.exists() or not sidecar.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    manifest = json.loads(sidecar.read_text())
+    if manifest.get("_format_version") != _FORMAT_VERSION:
+        raise CheckpointError("unsupported checkpoint format version")
+
+    own = dict(model.named_parameters())
+    saved = set(manifest["params"])
+    if set(own) != saved:
+        missing = sorted(set(own) - saved)
+        unexpected = sorted(saved - set(own))
+        raise CheckpointError(
+            f"parameter mismatch: missing={missing}, unexpected={unexpected}"
+        )
+    with np.load(path) as arrays:
+        for name, param in own.items():
+            stored = arrays[f"param::{name}"]
+            if stored.shape != param.data.shape:
+                raise CheckpointError(f"shape mismatch for {name}")
+            param.data = stored.astype(param.data.dtype)
+
+        if optimizer is not None and manifest.get("optimizer"):
+            info = manifest["optimizer"]
+            optimizer.lr = info["lr"]
+            if isinstance(optimizer, Adam) and info["type"] == "adam":
+                optimizer._step_count = info["step"]
+                for i in range(len(optimizer.params)):
+                    key = f"adam_m::{i}"
+                    if key in arrays:
+                        optimizer._m[i] = arrays[key].copy()
+                        optimizer._v[i] = arrays[f"adam_v::{i}"].copy()
+    return manifest.get("metadata", {})

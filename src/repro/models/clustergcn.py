@@ -1,0 +1,45 @@
+"""ClusterGCN (Chiang et al. 2019) as benchmarked in the paper.
+
+Two GCNConv layers over cluster-union subgraphs: the graph is partitioned
+into 2000 clusters (METIS substitute) once; each batch unions 50 random
+clusters (40 batches per epoch).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frameworks.base import Framework, FrameworkGraph
+from repro.models.base import two_layer_net
+from repro.tensor.module import Module
+
+NUM_PARTS = 2000
+PARTS_PER_BATCH = 50
+HIDDEN = 256
+
+
+def build_clustergcn(framework: Framework, fgraph: FrameworkGraph,
+                     hidden: int = HIDDEN, dropout: float = 0.5,
+                     seed: int = 0) -> Module:
+    """The paper's 2-layer ClusterGCN model for this dataset."""
+    stats = fgraph.stats
+    return two_layer_net(
+        framework,
+        "gcn",
+        in_features=stats.num_features,
+        hidden=hidden,
+        out_features=stats.num_classes,
+        style="subgraph",
+        dropout=dropout,
+        seed=seed,
+    )
+
+
+def clustergcn_sampler(framework: Framework, fgraph: FrameworkGraph,
+                       num_parts: int = NUM_PARTS,
+                       parts_per_batch: int = PARTS_PER_BATCH,
+                       seed: Optional[int] = None):
+    """The paper's cluster sampler configuration (2000 parts, 50/batch)."""
+    return framework.cluster_sampler(
+        fgraph, num_parts=num_parts, parts_per_batch=parts_per_batch, seed=seed
+    )

@@ -1,0 +1,45 @@
+"""GraphSAGE (Hamilton et al. 2017) as benchmarked in the paper.
+
+Two SAGEConv (mean-aggregator) layers trained on neighborhood-sampled
+blocks: fanouts 25/10, batch size 512, Adam.  Supports all four placements
+(CPU, CPU-sample + GPU-train, GPU-sampled, UVA-sampled) plus the
+pre-loading and pre-fetching case studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.frameworks.base import Framework, FrameworkGraph
+from repro.models.base import two_layer_net
+from repro.tensor.module import Module
+
+FANOUTS = (25, 10)
+BATCH_SIZE = 512
+HIDDEN = 256
+
+
+def build_graphsage(framework: Framework, fgraph: FrameworkGraph,
+                    hidden: int = HIDDEN, dropout: float = 0.5,
+                    seed: int = 0) -> Module:
+    """The paper's 2-layer GraphSAGE model for this dataset."""
+    stats = fgraph.stats
+    return two_layer_net(
+        framework,
+        "sage",
+        in_features=stats.num_features,
+        hidden=hidden,
+        out_features=stats.num_classes,
+        style="blocks",
+        dropout=dropout,
+        seed=seed,
+    )
+
+
+def graphsage_sampler(framework: Framework, fgraph: FrameworkGraph,
+                      mode: str = "cpu", fanouts: Tuple[int, ...] = FANOUTS,
+                      batch_size: int = BATCH_SIZE, seed: Optional[int] = None):
+    """The paper's neighborhood sampler configuration (25/10, batch 512)."""
+    return framework.neighbor_sampler(
+        fgraph, fanouts=fanouts, batch_size=batch_size, mode=mode, seed=seed
+    )

@@ -1,0 +1,44 @@
+"""GraphSAINT (Zeng et al. 2020) as benchmarked in the paper.
+
+Two GCNConv layers over random-walk-sampled subgraphs: 3000 roots, walk
+length 2.  The paper uses only the random-walk sampler (node/edge sampling
+were shown inferior in the original work).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frameworks.base import Framework, FrameworkGraph
+from repro.models.base import two_layer_net
+from repro.tensor.module import Module
+
+NUM_ROOTS = 3000
+WALK_LENGTH = 2
+HIDDEN = 256
+
+
+def build_graphsaint(framework: Framework, fgraph: FrameworkGraph,
+                     hidden: int = HIDDEN, dropout: float = 0.5,
+                     seed: int = 0) -> Module:
+    """The paper's 2-layer GraphSAINT model for this dataset."""
+    stats = fgraph.stats
+    return two_layer_net(
+        framework,
+        "gcn",
+        in_features=stats.num_features,
+        hidden=hidden,
+        out_features=stats.num_classes,
+        style="subgraph",
+        dropout=dropout,
+        seed=seed,
+    )
+
+
+def graphsaint_sampler(framework: Framework, fgraph: FrameworkGraph,
+                       num_roots: int = NUM_ROOTS, walk_length: int = WALK_LENGTH,
+                       seed: Optional[int] = None):
+    """The paper's random-walk sampler configuration (3000 roots x 2 steps)."""
+    return framework.saint_sampler(
+        fgraph, num_roots=num_roots, walk_length=walk_length, seed=seed
+    )

@@ -1,0 +1,411 @@
+"""The mini-batch training driver with four-phase accounting.
+
+Executes real training batches (sampling, movement, forward/backward/step)
+against the virtual clock.  Because the paper-scale epoch can have hundreds
+of batches, each epoch runs ``representative_batches`` batches for real and
+extrapolates the rest: remaining batches are charged the measured per-batch
+device busy time per phase, preserving the breakdown, the power timeline,
+and the totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.frameworks.base import Framework, FrameworkBatch, FrameworkGraph
+from repro.hardware.machine import Machine
+from repro.kernels.transfer import adj_to_device, to_device
+from repro.models.base import make_loss
+from repro.profiling.profiler import PhaseProfiler
+from repro.tensor.module import Module
+from repro.tensor.optim import Adam
+from repro.tensor.tensor import Tensor
+
+PLACEMENTS = ("cpu", "cpugpu", "gpu", "uvagpu")
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters and execution placement for one training run."""
+
+    epochs: int = 10
+    lr: float = 1e-3
+    dropout: float = 0.5
+    placement: str = "cpu"
+    preload: bool = False  # pre-load graph + features to GPU (case study 1)
+    prefetch: bool = False  # overlap movement with training (DGL only)
+    # Parallel sampling workers (DGL/PyG dataloader num_workers).  0 =
+    # inline sampling as the paper measures; w >= 1 divides sampling time
+    # by a sublinear speedup and pipelines it behind GPU training.
+    num_workers: int = 0
+    representative_batches: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.placement not in PLACEMENTS:
+            raise BenchmarkError(f"unknown placement {self.placement!r}")
+        if self.epochs < 1 or self.representative_batches < 1:
+            raise BenchmarkError("epochs and representative_batches must be >= 1")
+        if self.num_workers < 0:
+            raise BenchmarkError("num_workers must be >= 0")
+        if self.num_workers and self.placement in ("gpu", "uvagpu"):
+            raise BenchmarkError(
+                "sampling workers apply to CPU-side samplers only"
+            )
+
+    @property
+    def trains_on_gpu(self) -> bool:
+        return self.placement != "cpu"
+
+    @property
+    def samples_on_gpu(self) -> bool:
+        return self.placement in ("gpu", "uvagpu")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one training run."""
+
+    label: str
+    phases: Dict[str, float]
+    epochs: int
+    batches_per_epoch: int
+    executed_batches: int
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.phases.values())
+
+    def phase_fraction(self, name: str) -> float:
+        total = self.total_time
+        return self.phases.get(name, 0.0) / total if total > 0 else 0.0
+
+
+class _UsageMeter:
+    """Per-device busy-second deltas used for epoch extrapolation."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    def snapshot(self) -> Dict[str, float]:
+        snap = {
+            "cpu": self.machine.cpu.counters.busy_seconds,
+            "pcie": self.machine.pcie.counters.seconds,
+        }
+        if self.machine.gpu is not None:
+            snap["gpu"] = self.machine.gpu.counters.busy_seconds
+        return snap
+
+    @staticmethod
+    def delta(before: Dict[str, float], after: Dict[str, float]) -> Dict[str, float]:
+        return {key: after[key] - before.get(key, 0.0) for key in after}
+
+
+class MiniBatchTrainer:
+    """Drives one (framework, dataset, sampler, model, placement) run."""
+
+    def __init__(
+        self,
+        framework: Framework,
+        fgraph: FrameworkGraph,
+        sampler,
+        model: Module,
+        config: TrainConfig,
+        profiler: Optional[PhaseProfiler] = None,
+        label: str = "",
+        feature_cache=None,
+    ) -> None:
+        if feature_cache is not None and config.prefetch:
+            raise BenchmarkError(
+                "feature caching and pre-fetching cannot be combined"
+            )
+        self.framework = framework
+        self.fgraph = fgraph
+        self.sampler = sampler
+        self.model = model
+        self.config = config
+        self.machine = fgraph.machine
+        self.profiler = profiler or PhaseProfiler(self.machine.clock)
+        self.label = label or f"{framework.name}-{config.placement}"
+        self.loss_fn = make_loss(fgraph.stats.multilabel)
+        self.feature_cache = feature_cache
+        self._usage = _UsageMeter(self.machine)
+
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """One-time costs: pre-loading, partitioning, initial model copy."""
+        config = self.config
+        if config.preload or config.placement == "gpu":
+            with self.profiler.phase("data_movement"):
+                if not self.fgraph.preloaded_gpu:
+                    self.fgraph.preload_to_gpu()
+        if hasattr(self.sampler, "ensure_partitioned"):
+            with self.profiler.phase("sampling"):
+                self.sampler.ensure_partitioned()
+        if config.trains_on_gpu:
+            with self.profiler.phase("data_movement"), self.framework.activate():
+                self.model.to(self.machine.gpu, link=self.machine.pcie)
+        self.optimizer = Adam(self.model.parameters(), lr=config.lr)
+
+    # ------------------------------------------------------------------
+    def _move_batch(self, batch: FrameworkBatch) -> FrameworkBatch:
+        """Charge the per-batch CPU->GPU movement (subgraph + features + labels)."""
+        gpu = self.machine.gpu
+        link = self.machine.pcie
+        with self.framework.activate():
+            moved_x = batch.x.device is not gpu
+            batch.adjs = [
+                adj_to_device(adj, gpu, link, tag="batch-graph") for adj in batch.adjs
+            ]
+            if (moved_x and self.feature_cache is not None
+                    and batch.input_nodes is not None):
+                self._move_features_cached(batch, gpu, link)
+            else:
+                batch.x = to_device(batch.x, gpu, link, tag="batch-features")
+            if moved_x and batch.y_logical_nbytes > 0:
+                link.h2d(batch.y_logical_nbytes, tag="batch-labels")
+        return batch
+
+    def _move_features_cached(self, batch: FrameworkBatch, gpu, link) -> None:
+        """Move only cache-miss feature rows; gather hits on the GPU."""
+        from repro.hardware.device import KernelCost
+
+        mask = self.feature_cache.hit_mask(batch.input_nodes)
+        hit_fraction = float(mask.mean()) if mask.size else 0.0
+        miss_bytes = batch.x.logical_nbytes * (1.0 - hit_fraction)
+        hit_bytes = batch.x.logical_nbytes * hit_fraction
+        if miss_bytes > 0:
+            link.h2d(miss_bytes, tag="batch-features-miss")
+        if hit_bytes > 0:
+            # On-device gather of the cached rows into the batch tensor.
+            gpu.execute(KernelCost(name="feature-cache.gather",
+                                   bytes_moved=2.0 * hit_bytes,
+                                   compute_eff=0.6, memory_eff=0.6))
+        batch.x = to_device(batch.x, gpu, None)  # bytes already charged
+
+    def worker_speedup(self) -> float:
+        """Effective sampling parallelism from ``num_workers``.
+
+        Sublinear (85% scaling per doubling), capped at the physical
+        cores so oversubscription cannot fabricate speedup.
+        """
+        w = self.config.num_workers
+        if w <= 1:
+            return 1.0
+        cores = getattr(self.machine.cpu.spec, "cores_per_socket", 10) * \
+            getattr(self.machine.cpu.spec, "sockets", 1)
+        return min(float(cores), w ** 0.85)
+
+    def _sample_with_workers(self, batch_iter, prev_train_dt: float,
+                             phase_usage, phase_wall):
+        """Sample via the worker pool: parallel, pipelined behind training.
+
+        The batch is built physically inside a deferred clock region; its
+        measured cost is divided by the worker speedup, and (when training
+        runs on the GPU) the portion covered by the previous batch's
+        training step is hidden — the CPU busy time for that portion is
+        backfilled into the elapsed training window.
+        """
+        clock = self.machine.clock
+        with clock.deferred() as record:
+            batch = next(batch_iter, None)
+        if batch is None:
+            return None
+        speedup = self.worker_speedup()
+        effective = record.total / speedup
+        can_pipeline = self.config.trains_on_gpu
+        hidden = min(prev_train_dt, effective) if can_pipeline else 0.0
+        residual = effective - hidden
+
+        before = self._usage.snapshot()
+        start = clock.now
+        total = max(record.total, 1e-12)
+        with self.profiler.phase("sampling"):
+            for device, busy in record.busy.items():
+                visible = (busy / total) * residual
+                if visible > 0:
+                    clock.occupy(device, visible, tag="sampling-workers")
+            if hidden > 0:
+                hidden_busy = {
+                    device: (busy / total) * hidden
+                    for device, busy in record.busy.items()
+                }
+                try:
+                    clock.occupy_parallel(hidden_busy, tag="sampling-pipelined",
+                                          backfill=True)
+                except ValueError:
+                    # The backfill window was not idle (e.g. CPU-side work
+                    # during training); charge serially instead.
+                    for device, busy in hidden_busy.items():
+                        clock.occupy(device, busy, tag="sampling-workers")
+        elapsed = clock.now - start
+        phase_wall["sampling"] = phase_wall.get("sampling", 0.0) + elapsed
+        delta = self._usage.delta(before, self._usage.snapshot())
+        bucket = phase_usage.setdefault("sampling", {})
+        for key, value in delta.items():
+            bucket[key] = bucket.get(key, 0.0) + value
+        return batch
+
+    def _movement_seconds(self, batch: FrameworkBatch) -> float:
+        """PCIe seconds the batch copy would take (prefetch accounting)."""
+        gpu = self.machine.gpu
+        link = self.machine.pcie
+        seconds = 0.0
+        for adj in batch.adjs:
+            if adj.device is not gpu:
+                seconds += link.transfer_time(adj.structure_nbytes())
+        if batch.x.device is not gpu:
+            seconds += link.transfer_time(batch.x.logical_nbytes)
+            if batch.y_logical_nbytes > 0:
+                seconds += link.transfer_time(batch.y_logical_nbytes)
+        return seconds
+
+    def _relocate_silently(self, batch: FrameworkBatch) -> None:
+        """Re-place batch tensors on GPU without charging (already copied)."""
+        gpu = self.machine.gpu
+        batch.adjs = [adj_to_device(adj, gpu, None) for adj in batch.adjs]
+        batch.x = to_device(batch.x, gpu, None)
+
+    def _train_step(self, batch: FrameworkBatch) -> float:
+        """One forward/backward/update on a mini-batch."""
+        self.model.train()
+        self.optimizer.zero_grad()
+        with self.framework.activate():
+            if batch.kind == "blocks":
+                logits = self.model(batch.adjs, batch.x)
+                y = batch.y
+            else:
+                logits = self.model(batch.adjs[0], batch.x)
+                rows = batch.train_rows
+                if rows is not None and rows.size > 0:
+                    logits = logits[rows.astype(np.int64)]
+                    y = batch.y[rows]
+                else:
+                    y = batch.y
+            loss = self.loss_fn(logits, y)
+            loss.backward()
+            self.optimizer.step()
+        return loss.item()
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Run the configured number of epochs; return the breakdown."""
+        config = self.config
+        self.setup()
+        num_batches = self.sampler.num_batches()
+        reps = min(config.representative_batches, num_batches)
+        losses: List[float] = []
+        executed = 0
+
+        prev_train_dt = 0.0
+        for _ in range(config.epochs):
+            batch_iter = iter(self.sampler.epoch())
+            phase_usage: Dict[str, Dict[str, float]] = {}
+            phase_wall: Dict[str, float] = {}
+            ran = 0
+            for _ in range(reps):
+                if config.num_workers > 0:
+                    batch = self._sample_with_workers(
+                        batch_iter, prev_train_dt if ran > 0 else 0.0,
+                        phase_usage, phase_wall,
+                    )
+                else:
+                    batch = self._timed_phase("sampling",
+                                              lambda: next(batch_iter, None),
+                                              phase_usage, phase_wall)
+                if batch is None:
+                    break
+                needs_move = config.trains_on_gpu and not config.samples_on_gpu
+                prefetching = (
+                    needs_move
+                    and config.prefetch
+                    and self.framework.profile.supports_prefetch
+                    and ran > 0  # the first batch of an epoch cannot overlap
+                )
+                if needs_move and not prefetching:
+                    self._timed_phase(
+                        "data_movement", lambda: self._move_batch(batch),
+                        phase_usage, phase_wall,
+                    )
+                elif prefetching:
+                    # Asynchronous pre-fetching: this batch's copy ran
+                    # behind the previous batch's compute.  Only the part
+                    # of the copy that exceeds one training step remains
+                    # visible as data movement.
+                    pending_move = self._movement_seconds(batch)
+                    self._relocate_silently(batch)
+                train_start = self.machine.clock.now
+                loss = self._timed_phase("training", lambda: self._train_step(batch),
+                                         phase_usage, phase_wall)
+                prev_train_dt = self.machine.clock.now - train_start
+                if prefetching:
+                    train_dt = self.machine.clock.now - train_start
+                    residual = max(0.0, pending_move - train_dt)
+                    if residual > 0:
+                        self._timed_phase(
+                            "data_movement",
+                            lambda: self.machine.clock.occupy("pcie", residual,
+                                                              tag="prefetch-residual"),
+                            phase_usage, phase_wall,
+                        )
+                losses.append(loss)
+                ran += 1
+            executed += ran
+
+            remaining = num_batches - ran
+            if remaining > 0 and ran > 0:
+                self._extrapolate(phase_usage, phase_wall, ran, remaining)
+
+        return RunResult(
+            label=self.label,
+            phases=self.profiler.snapshot(),
+            epochs=config.epochs,
+            batches_per_epoch=num_batches,
+            executed_batches=executed,
+            losses=losses,
+        )
+
+    # ------------------------------------------------------------------
+    def _timed_phase(self, name: str, fn, usage: Dict[str, Dict[str, float]],
+                     wall: Dict[str, float]):
+        before = self._usage.snapshot()
+        start = self.machine.clock.now
+        with self.profiler.phase(name):
+            result = fn()
+        elapsed = self.machine.clock.now - start
+        wall[name] = wall.get(name, 0.0) + elapsed
+        delta = self._usage.delta(before, self._usage.snapshot())
+        bucket = usage.setdefault(name, {})
+        for key, value in delta.items():
+            bucket[key] = bucket.get(key, 0.0) + value
+        return result
+
+    def _extrapolate(self, usage: Dict[str, Dict[str, float]],
+                     wall: Dict[str, float], ran: int, remaining: int) -> None:
+        """Charge the non-executed batches at measured per-batch rates."""
+        clock = self.machine.clock
+        device_names = {
+            "cpu": self.machine.cpu.name,
+            "pcie": "pcie",
+        }
+        if self.machine.gpu is not None:
+            device_names["gpu"] = self.machine.gpu.name
+        for phase in ("sampling", "data_movement", "training"):
+            if phase not in wall:
+                continue
+            scale = remaining / ran
+            busy_total = 0.0
+            for key, seconds in usage.get(phase, {}).items():
+                extra = seconds * scale
+                if extra > 0:
+                    clock.occupy(device_names[key], extra, tag=f"extrapolate:{phase}")
+                    busy_total += extra
+            idle = wall[phase] * scale - busy_total
+            if idle > 0:
+                clock.advance(idle)
+            self.profiler.add(phase, wall[phase] * scale)

@@ -1,0 +1,23 @@
+"""Power and energy measurement for the simulated machine.
+
+This package stands in for CodeCarbon, which the paper uses with a 0.1 s
+sampling interval.  The structure mirrors the real tool:
+
+* :class:`RaplMeter` — CPU side; models Intel RAPL energy counters
+  (cumulative joules; power is derived as energy / elapsed).
+* :class:`NvmlMeter` — GPU side; models pynvml instant power readings
+  (watts at sample instants; energy is power x interval).
+* :class:`EnergyMonitor` — the CodeCarbon-like tracker that samples both
+  meters on the virtual clock and produces an :class:`EnergyReport`.
+"""
+
+from repro.power.meter import RaplMeter, NvmlMeter, PowerSample
+from repro.power.monitor import EnergyMonitor, EnergyReport
+
+__all__ = [
+    "EnergyMonitor",
+    "EnergyReport",
+    "NvmlMeter",
+    "PowerSample",
+    "RaplMeter",
+]

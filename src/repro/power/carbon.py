@@ -1,0 +1,76 @@
+"""Carbon-emission accounting on top of the energy monitor.
+
+CodeCarbon — the tool the paper uses — exists to convert measured energy
+into CO2-equivalent emissions using a grid carbon intensity.  This module
+completes that pipeline for the simulated machine: an
+:class:`~repro.power.monitor.EnergyReport` plus a grid profile yields
+grams of CO2eq, with the same PUE (power-usage-effectiveness) uplift real
+trackers apply for datacenter overhead (cooling, distribution).
+
+Intensity defaults are public 2022-era grid averages (gCO2eq/kWh).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.power.monitor import EnergyReport
+
+#: Grid carbon intensity in gCO2eq per kWh (approximate 2022 averages).
+GRID_INTENSITY: Dict[str, float] = {
+    "world": 475.0,
+    "usa": 379.0,
+    "texas": 410.0,  # the paper's testbed location (ERCOT)
+    "eu": 275.0,
+    "france": 85.0,
+    "sweden": 45.0,
+    "india": 708.0,
+    "australia": 531.0,
+}
+
+JOULES_PER_KWH = 3.6e6
+
+
+@dataclass(frozen=True)
+class CarbonReport:
+    """Emissions attributed to one monitored window."""
+
+    energy_kwh: float
+    grid: str
+    intensity: float  # gCO2eq / kWh
+    pue: float
+
+    @property
+    def grams_co2eq(self) -> float:
+        return self.energy_kwh * self.pue * self.intensity
+
+    @property
+    def kg_co2eq(self) -> float:
+        return self.grams_co2eq / 1000.0
+
+    def equivalent_km_driven(self) -> float:
+        """Average passenger-car equivalent (~192 gCO2eq/km)."""
+        return self.grams_co2eq / 192.0
+
+
+def carbon_from_energy(report: EnergyReport, grid: str = "texas",
+                       pue: float = 1.58) -> CarbonReport:
+    """Convert an energy report into emissions.
+
+    ``pue`` defaults to the often-cited global datacenter average (1.58);
+    use 1.0 for a bare workstation.
+    """
+    key = grid.lower()
+    if key not in GRID_INTENSITY:
+        raise KeyError(
+            f"unknown grid {grid!r}; available: {', '.join(sorted(GRID_INTENSITY))}"
+        )
+    if pue < 1.0:
+        raise ValueError("PUE cannot be below 1.0")
+    return CarbonReport(
+        energy_kwh=report.total_energy / JOULES_PER_KWH,
+        grid=key,
+        intensity=GRID_INTENSITY[key],
+        pue=pue,
+    )

@@ -1,0 +1,61 @@
+"""Phase profiler: attributes virtual time to the paper's four phases."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.simtime import VirtualClock
+
+#: The paper's runtime breakdown (Figures 6, 10, 14, 19, 21).
+PHASES = ("data_loading", "sampling", "data_movement", "training")
+
+
+class PhaseProfiler:
+    """Accumulates virtual seconds per named phase.
+
+    ``phase(name)`` measures a block against the clock; ``add`` credits
+    extrapolated time (used when representative batches stand in for a
+    full epoch).
+    """
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self.clock = clock
+        self._seconds: Dict[str, float] = {}
+        self._active: Optional[str] = None
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        if self._active is not None:
+            raise RuntimeError(
+                f"phase {name!r} started while {self._active!r} is active"
+            )
+        self._active = name
+        start = self.clock.now
+        try:
+            yield
+        finally:
+            self._active = None
+            self._seconds[name] = self._seconds.get(name, 0.0) + (self.clock.now - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Credit ``seconds`` to a phase without touching the clock."""
+        if seconds < 0:
+            raise ValueError("cannot credit negative time")
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self._seconds)
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total
+        if total <= 0:
+            return {name: 0.0 for name in self._seconds}
+        return {name: secs / total for name, secs in self._seconds.items()}

@@ -1,0 +1,79 @@
+"""Common sampler output types and work accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class SampleWork:
+    """Logical work performed by one sampler invocation.
+
+    ``items`` is the number of per-element operations at *paper scale*
+    (neighbor candidates examined + sampled, walk steps, cluster-member
+    touches, induced-subgraph edge probes).  ``fetch_bytes`` is the logical
+    bytes of node features gathered for the batch.
+    """
+
+    items: float = 0.0
+    fetch_bytes: float = 0.0
+
+    def __iadd__(self, other: "SampleWork") -> "SampleWork":
+        self.items += other.items
+        self.fetch_bytes += other.fetch_bytes
+        return self
+
+
+@dataclass
+class Block:
+    """One bipartite message-flow block (DGL terminology).
+
+    ``src_nodes``/``dst_nodes`` are global node ids; ``src``/``dst`` are
+    edge endpoints in *local* block coordinates (src indexes ``src_nodes``,
+    dst indexes ``dst_nodes``).  ``dst_nodes`` is always a prefix of
+    ``src_nodes`` (self-inclusion), matching DGL block layout.
+    """
+
+    src_nodes: np.ndarray
+    dst_nodes: np.ndarray
+    src: np.ndarray
+    dst: np.ndarray
+    edge_scale: float = 1.0
+    node_scale: float = 1.0
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.size)
+
+
+@dataclass
+class BlockSample:
+    """A mini-batch for layer-wise (GraphSAGE-style) training."""
+
+    blocks: List[Block]  # input-side block first
+    input_nodes: np.ndarray  # global ids needing input features
+    output_nodes: np.ndarray  # global ids being predicted (the batch roots)
+    work: SampleWork = field(default_factory=SampleWork)
+
+
+@dataclass
+class SubgraphSample:
+    """A mini-batch that is one induced subgraph (ClusterGCN/GraphSAINT)."""
+
+    nodes: np.ndarray  # global ids, defines local order
+    src: np.ndarray  # local endpoints
+    dst: np.ndarray
+    node_scale: float = 1.0
+    edge_scale: float = 1.0
+    work: SampleWork = field(default_factory=SampleWork)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.nodes.size)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.size)

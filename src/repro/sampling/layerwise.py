@@ -1,0 +1,214 @@
+"""Layer-wise importance samplers: FastGCN and LADIES.
+
+The paper's background (Section 2.1) motivates the sampler landscape with
+FastGCN (Chen et al. 2018) — independent per-layer node draws from a
+precomputed importance distribution, which can produce isolated nodes —
+and LADIES (Zou et al. 2019) — layer-*dependent* draws restricted to the
+current frontier's neighborhood, which fixes sparsity "while it introduces
+additional computational cost and non-negligible overhead in the sampling
+process".  Both are implemented here so the ablation bench can quantify
+that trade-off against GraphSAGE's node-wise sampler.
+
+Both produce :class:`~repro.sampling.base.BlockSample` mini-batches
+(bipartite blocks, output-side roots), directly consumable by
+:class:`~repro.models.base.BlockNet`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SamplerError
+from repro.graph.formats import INDEX_DTYPE
+from repro.graph.graph import Graph
+from repro.sampling.base import Block, BlockSample, SampleWork
+
+
+def _block_from_edges(src_global, dst_global, dst_nodes):
+    """Assemble a Block with dst-prefix node layout from global edges."""
+    extra = np.setdiff1d(np.unique(src_global), dst_nodes)
+    src_nodes = np.concatenate([dst_nodes, extra])
+    lookup = {int(n): i for i, n in enumerate(src_nodes)}
+    src_local = np.fromiter((lookup[int(s)] for s in src_global),
+                            count=src_global.size, dtype=INDEX_DTYPE)
+    dst_lookup = {int(n): i for i, n in enumerate(dst_nodes)}
+    dst_local = np.fromiter((dst_lookup[int(d)] for d in dst_global),
+                            count=dst_global.size, dtype=INDEX_DTYPE)
+    return src_nodes, Block(src_nodes=src_nodes, dst_nodes=dst_nodes,
+                            src=src_local, dst=dst_local)
+
+
+class FastGCNSampler:
+    """FastGCN: per-layer independent draws from a global distribution.
+
+    The importance distribution q(v) ~ deg(v)^2 is precomputed once.  For
+    each layer, ``layer_size`` nodes are drawn independently of the
+    frontier; edges into the frontier are kept.  Isolated frontier nodes
+    (no sampled in-neighbors) are the method's known failure mode — the
+    sampler exposes ``last_isolated_fraction`` so tests and benches can
+    observe it.
+    """
+
+    def __init__(self, graph: Graph, layer_sizes=(400, 400),
+                 batch_size: int = 512, seed: Optional[int] = None) -> None:
+        if not layer_sizes:
+            raise SamplerError("layer_sizes must be non-empty")
+        self.graph = graph
+        self.paper_layer_sizes = tuple(int(s) for s in layer_sizes)
+        self.layer_sizes = tuple(
+            max(2, int(round(s / graph.node_scale))) for s in layer_sizes
+        )
+        self.actual_batch_size = max(2, int(round(batch_size / graph.node_scale)))
+        self.rng = np.random.default_rng(seed)
+        degrees = np.maximum(graph.adj.degrees(), 1).astype(np.float64)
+        weights = degrees ** 2
+        self._probs = weights / weights.sum()
+        self._indptr = graph.adj.indptr
+        self._indices = graph.adj.indices
+        self.last_isolated_fraction = 0.0
+
+    def sample(self, roots: np.ndarray) -> BlockSample:
+        roots = np.asarray(roots, dtype=INDEX_DTYPE)
+        if roots.size == 0:
+            raise SamplerError("cannot sample an empty root batch")
+        node_scale = self.graph.node_scale
+        work = SampleWork()
+        blocks: List[Block] = []
+        frontier = roots
+        isolated = 0
+        total_frontier = 0
+        for size in reversed(self.layer_sizes):
+            size = min(size, self.graph.num_nodes)
+            candidates = np.unique(
+                self.rng.choice(self.graph.num_nodes, size=size, p=self._probs)
+            )
+            srcs, dsts = [], []
+            for node in frontier:
+                neigh = self._indices[self._indptr[node]:self._indptr[node + 1]]
+                kept = neigh[np.isin(neigh, candidates)]
+                work.items += neigh.size * node_scale  # membership tests
+                if kept.size == 0:
+                    isolated += 1
+                    continue
+                srcs.append(kept)
+                dsts.append(np.full(kept.size, node, dtype=INDEX_DTYPE))
+            total_frontier += frontier.size
+            src_g = np.concatenate(srcs) if srcs else np.empty(0, dtype=INDEX_DTYPE)
+            dst_g = np.concatenate(dsts) if dsts else np.empty(0, dtype=INDEX_DTYPE)
+            src_nodes, block = _block_from_edges(src_g, dst_g, frontier)
+            block.edge_scale = node_scale
+            block.node_scale = node_scale
+            blocks.append(block)
+            frontier = src_nodes
+            work.items += size * node_scale  # the independent draws
+        blocks.reverse()
+        self.last_isolated_fraction = isolated / max(1, total_frontier)
+        input_nodes = blocks[0].src_nodes
+        work.fetch_bytes = 4.0 * input_nodes.size * node_scale * self.graph.num_features
+        return BlockSample(blocks=blocks, input_nodes=input_nodes,
+                           output_nodes=roots, work=work)
+
+    def num_batches(self, train_nodes: int) -> int:
+        return max(1, int(np.ceil(train_nodes / self.actual_batch_size)))
+
+    def epoch_batches(self, shuffle: bool = True):
+        train = self.graph.train_nodes()
+        if shuffle:
+            train = self.rng.permutation(train)
+        for start in range(0, train.size, self.actual_batch_size):
+            roots = train[start:start + self.actual_batch_size]
+            if roots.size:
+                yield self.sample(roots)
+
+
+class LadiesSampler:
+    """LADIES: layer-dependent importance sampling.
+
+    Like FastGCN, a fixed number of nodes is drawn per layer — but the
+    distribution is recomputed *per batch, per layer* over the current
+    frontier's in-neighborhood (q(v) ~ sum of squared normalized adjacency
+    entries into the frontier).  That removes FastGCN's isolated nodes but
+    costs an extra pass over the frontier's edges every layer — the
+    "additional computational cost and non-negligible overhead" the paper
+    cites, which the ablation bench quantifies.
+    """
+
+    def __init__(self, graph: Graph, layer_sizes=(400, 400),
+                 batch_size: int = 512, seed: Optional[int] = None) -> None:
+        if not layer_sizes:
+            raise SamplerError("layer_sizes must be non-empty")
+        self.graph = graph
+        self.paper_layer_sizes = tuple(int(s) for s in layer_sizes)
+        self.layer_sizes = tuple(
+            max(2, int(round(s / graph.node_scale))) for s in layer_sizes
+        )
+        self.actual_batch_size = max(2, int(round(batch_size / graph.node_scale)))
+        self.rng = np.random.default_rng(seed)
+        self._indptr = graph.adj.indptr
+        self._indices = graph.adj.indices
+
+    def _frontier_distribution(self, frontier: np.ndarray):
+        """Importance over the union of the frontier's in-neighborhoods."""
+        neigh_lists = [
+            self._indices[self._indptr[n]:self._indptr[n + 1]] for n in frontier
+        ]
+        all_neigh = (np.concatenate(neigh_lists) if neigh_lists
+                     else np.empty(0, dtype=INDEX_DTYPE))
+        if all_neigh.size == 0:
+            return frontier, np.ones(frontier.size) / frontier.size, 0
+        candidates, counts = np.unique(all_neigh, return_counts=True)
+        probs = counts.astype(np.float64)
+        probs /= probs.sum()
+        return candidates, probs, all_neigh.size
+
+    def sample(self, roots: np.ndarray) -> BlockSample:
+        roots = np.asarray(roots, dtype=INDEX_DTYPE)
+        if roots.size == 0:
+            raise SamplerError("cannot sample an empty root batch")
+        node_scale = self.graph.node_scale
+        work = SampleWork()
+        blocks: List[Block] = []
+        frontier = roots
+        for size in reversed(self.layer_sizes):
+            candidates, probs, edges_scanned = self._frontier_distribution(frontier)
+            # The per-layer distribution pass is LADIES' extra overhead:
+            # one full scan of the frontier's edges plus the draw itself.
+            work.items += 2.0 * edges_scanned * node_scale + candidates.size * node_scale
+            draw = min(size, candidates.size)
+            chosen = np.unique(
+                self.rng.choice(candidates, size=draw, p=probs, replace=True)
+            )
+            srcs, dsts = [], []
+            for node in frontier:
+                neigh = self._indices[self._indptr[node]:self._indptr[node + 1]]
+                kept = neigh[np.isin(neigh, chosen)]
+                work.items += neigh.size * node_scale
+                if kept.size:
+                    srcs.append(kept)
+                    dsts.append(np.full(kept.size, node, dtype=INDEX_DTYPE))
+            src_g = np.concatenate(srcs) if srcs else np.empty(0, dtype=INDEX_DTYPE)
+            dst_g = np.concatenate(dsts) if dsts else np.empty(0, dtype=INDEX_DTYPE)
+            src_nodes, block = _block_from_edges(src_g, dst_g, frontier)
+            block.edge_scale = node_scale
+            block.node_scale = node_scale
+            blocks.append(block)
+            frontier = src_nodes
+        blocks.reverse()
+        input_nodes = blocks[0].src_nodes
+        work.fetch_bytes = 4.0 * input_nodes.size * node_scale * self.graph.num_features
+        return BlockSample(blocks=blocks, input_nodes=input_nodes,
+                           output_nodes=roots, work=work)
+
+    def num_batches(self, train_nodes: int) -> int:
+        return max(1, int(np.ceil(train_nodes / self.actual_batch_size)))
+
+    def epoch_batches(self, shuffle: bool = True):
+        train = self.graph.train_nodes()
+        if shuffle:
+            train = self.rng.permutation(train)
+        for start in range(0, train.size, self.actual_batch_size):
+            roots = train[start:start + self.actual_batch_size]
+            if roots.size:
+                yield self.sample(roots)

@@ -1,0 +1,159 @@
+"""GraphSAGE's k-hop neighborhood sampler.
+
+Sampling runs backwards from the batch roots (DGL block convention): the
+*last* fanout is applied to the roots, earlier fanouts to successive
+frontiers, producing one bipartite block per GNN layer.
+
+Scaling: the driver shrinks the paper's batch size (512 roots) by the
+dataset's node scale, so the number of batches per epoch matches the
+paper-scale run.  Per-root subtree sizes are absolute (fanout-capped), but
+the scaled-down graph has lower degrees than the logical one, so each hop
+carries a *degree correction* ``min(f, d_logical) / min(f, d_actual)``
+folded into the blocks' logical edge scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SamplerError
+from repro.graph.formats import INDEX_DTYPE
+from repro.graph.graph import Graph
+from repro.sampling.base import Block, BlockSample, SampleWork
+
+
+def sample_block_neighbors(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    seeds: np.ndarray,
+    fanout: int,
+    rng: np.random.Generator,
+):
+    """Sample up to ``fanout`` neighbors (without replacement) per seed.
+
+    Returns (srcs, dsts) as global ids (dst = the seed) and the number of
+    neighbor candidates examined.
+    """
+    if fanout < 1:
+        raise SamplerError("fanout must be >= 1")
+    srcs: List[np.ndarray] = []
+    dsts: List[np.ndarray] = []
+    examined = 0
+    for seed in seeds:
+        lo, hi = indptr[seed], indptr[seed + 1]
+        degree = int(hi - lo)
+        if degree == 0:
+            continue
+        examined += degree
+        neighborhood = indices[lo:hi]
+        if degree <= fanout:
+            chosen = neighborhood
+        else:
+            chosen = neighborhood[rng.choice(degree, size=fanout, replace=False)]
+        srcs.append(chosen)
+        dsts.append(np.full(chosen.size, seed, dtype=INDEX_DTYPE))
+    if srcs:
+        return np.concatenate(srcs), np.concatenate(dsts), examined
+    empty = np.empty(0, dtype=INDEX_DTYPE)
+    return empty, empty, examined
+
+
+class NeighborSampler:
+    """Mini-batch iterator over root batches with per-layer fanouts."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        fanouts: Sequence[int] = (25, 10),
+        batch_size: int = 512,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not fanouts:
+            raise SamplerError("fanouts must be non-empty")
+        self.graph = graph
+        self.fanouts = tuple(int(f) for f in fanouts)
+        self.paper_batch_size = int(batch_size)
+        # Shrink roots by node scale so batches/epoch match paper scale.
+        self.actual_batch_size = max(2, int(round(batch_size / graph.node_scale)))
+        self.rng = np.random.default_rng(seed)
+        self._indptr = graph.adj.indptr
+        self._indices = graph.adj.indices
+        # Mean degrees drive the per-hop degree correction.
+        self._d_actual = max(1.0, graph.num_edges / max(1, graph.num_nodes))
+        self._d_logical = max(1.0, graph.stats.avg_degree)
+
+    def num_batches(self, train_nodes: int) -> int:
+        return max(1, int(np.ceil(train_nodes / self.actual_batch_size)))
+
+    def hop_correction(self, fanout: int) -> float:
+        """Logical/actual sampled-neighbor ratio for one hop."""
+        return min(fanout, self._d_logical) / min(fanout, self._d_actual)
+
+    def sample(self, roots: np.ndarray) -> BlockSample:
+        """Build one mini-batch of blocks for the given batch roots."""
+        roots = np.asarray(roots, dtype=INDEX_DTYPE)
+        if roots.size == 0:
+            raise SamplerError("cannot sample an empty root batch")
+        node_scale = self.graph.node_scale
+        work = SampleWork()
+        blocks: List[Block] = []
+        seeds = roots
+        cumulative = node_scale  # logical/actual ratio of the current frontier
+        # Output-side layer first (last fanout applies to the roots).
+        for fanout in reversed(self.fanouts):
+            src_g, dst_g, examined = sample_block_neighbors(
+                self._indptr, self._indices, seeds, fanout, self.rng
+            )
+            correction = self.hop_correction(fanout)
+            edge_scale = cumulative * correction
+            # Charged items: neighbors examined plus entries sampled.
+            work.items += (examined + src_g.size) * edge_scale
+
+            # Block node set: dst nodes first (self-inclusion), then new srcs.
+            dst_nodes = seeds
+            extra = np.setdiff1d(np.unique(src_g), dst_nodes, assume_unique=False)
+            src_nodes = np.concatenate([dst_nodes, extra])
+            lookup = {int(n): i for i, n in enumerate(src_nodes)}
+            src_local = np.fromiter(
+                (lookup[int(s)] for s in src_g), count=src_g.size, dtype=INDEX_DTYPE
+            )
+            dst_lookup = {int(n): i for i, n in enumerate(dst_nodes)}
+            dst_local = np.fromiter(
+                (dst_lookup[int(d)] for d in dst_g), count=dst_g.size, dtype=INDEX_DTYPE
+            )
+            blocks.append(
+                Block(
+                    src_nodes=src_nodes,
+                    dst_nodes=dst_nodes,
+                    src=src_local,
+                    dst=dst_local,
+                    edge_scale=edge_scale,
+                    node_scale=cumulative,
+                )
+            )
+            seeds = src_nodes
+            cumulative = edge_scale
+
+        blocks.reverse()  # input-side block first
+        input_nodes = blocks[0].src_nodes
+        work.fetch_bytes = (
+            4.0 * input_nodes.size * cumulative * self.graph.num_features
+        )
+        return BlockSample(
+            blocks=blocks,
+            input_nodes=input_nodes,
+            output_nodes=roots,
+            work=work,
+        )
+
+    def epoch_batches(self, shuffle: bool = True):
+        """Yield batches of roots covering the training set once."""
+        train = self.graph.train_nodes()
+        if shuffle:
+            train = self.rng.permutation(train)
+        for start in range(0, train.size, self.actual_batch_size):
+            roots = train[start:start + self.actual_batch_size]
+            if roots.size:
+                yield self.sample(roots)

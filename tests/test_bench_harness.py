@@ -1,0 +1,114 @@
+"""Tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench.format import format_matrix, format_series
+from repro.bench.harness import (
+    measure_conv_forward,
+    measure_data_loader,
+    measure_sampler_epoch,
+    run_fullbatch_experiment,
+    run_training_experiment,
+)
+from repro.errors import BenchmarkError
+
+SMALL = dict(dataset_scale=0.3)
+
+
+class TestTrainingExperiment:
+    def test_returns_breakdown_and_energy(self):
+        result = run_training_experiment("dglite", "ppi", "graphsage",
+                                         placement="cpu", epochs=1,
+                                         representative_batches=2, **SMALL)
+        assert result.label == "DGL-CPU"
+        assert result.total_time > 0
+        assert result.total_energy > 0
+        assert result.energy.duration == pytest.approx(result.total_time, rel=0.01)
+        assert {"data_loading", "sampling", "training"} <= set(result.phases)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(BenchmarkError):
+            run_training_experiment("dglite", "ppi", "transformer")
+
+    def test_gpu_placement_restricted_to_graphsage(self):
+        with pytest.raises(BenchmarkError):
+            run_training_experiment("dglite", "ppi", "clustergcn",
+                                    placement="gpu", **SMALL)
+
+    def test_labels(self):
+        result = run_training_experiment("pyglite", "ppi", "graphsaint",
+                                         placement="cpugpu", epochs=1,
+                                         representative_batches=1, **SMALL)
+        assert result.label == "PyG-CPUGPU"
+
+    def test_preload_label(self):
+        result = run_training_experiment("dglite", "ppi", "graphsage",
+                                         placement="cpugpu", preload=True,
+                                         epochs=1, representative_batches=1,
+                                         **SMALL)
+        assert result.label == "DGL-CPUGPU+preload"
+
+    def test_experiments_are_independent(self):
+        a = run_training_experiment("dglite", "ppi", "graphsage", epochs=1,
+                                    representative_batches=1, **SMALL)
+        b = run_training_experiment("dglite", "ppi", "graphsage", epochs=1,
+                                    representative_batches=1, **SMALL)
+        assert a.total_time == pytest.approx(b.total_time, rel=1e-6)
+
+
+class TestFullbatchExperiment:
+    def test_per_epoch_training_time(self):
+        result = run_fullbatch_experiment("dglite", "ppi", device="cpu",
+                                          epochs=4, **SMALL)
+        assert result.phases["training"] > 0
+        assert len(result.losses) == 4
+
+    def test_gpu_device(self):
+        result = run_fullbatch_experiment("pyglite", "ppi", device="gpu",
+                                          epochs=1, **SMALL)
+        assert result.phases.get("data_movement", 0) > 0
+
+
+class TestFunctionalMeasurements:
+    def test_data_loader_positive(self):
+        assert measure_data_loader("dglite", "ppi", **SMALL) > 0
+
+    def test_sampler_epoch_fields(self):
+        out = measure_sampler_epoch("dglite", "ppi", "neighbor", **SMALL)
+        assert out["epoch"] > 0
+        assert out["batches"] >= 1
+
+    def test_cluster_one_time_includes_partition(self):
+        out = measure_sampler_epoch("pyglite", "ppi", "cluster", **SMALL)
+        assert out["one_time"] > 0
+
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(BenchmarkError):
+            measure_sampler_epoch("dglite", "ppi", "frontier", **SMALL)
+
+    def test_conv_forward_cpu_gpu(self):
+        cpu = measure_conv_forward("dglite", "ppi", "gcn", device="cpu", **SMALL)
+        gpu = measure_conv_forward("dglite", "ppi", "gcn", device="gpu", **SMALL)
+        assert cpu.phases["forward"] > 0
+        assert gpu.phases["forward"] > 0
+
+    def test_conv_forward_oom_reported_not_raised(self):
+        result = measure_conv_forward("pyglite", "reddit", "gat", device="gpu")
+        assert result.oom
+        assert "out of memory" in result.error
+
+
+class TestFormatting:
+    def test_format_series(self):
+        text = format_series("Fig X", {"DGL": {"ppi": 1.0}, "PyG": {"ppi": 2.0}})
+        assert "Fig X" in text and "DGL" in text and "ppi" in text
+
+    def test_format_matrix_with_oom_strings(self):
+        text = format_matrix("Fig 5", ["DGL"], ["reddit"],
+                             {("DGL", "reddit"): "OOM"})
+        assert "OOM" in text
+
+    def test_missing_cells_render_dash(self):
+        text = format_series("t", {"a": {"x": 1.0}, "b": {}})
+        assert "-" in text

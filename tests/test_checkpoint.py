@@ -1,0 +1,132 @@
+"""Tests for model/optimizer checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.models.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from repro.tensor import functional as F
+from repro.tensor.module import Linear, Sequential
+from repro.tensor.optim import Adam, SGD
+from repro.tensor.tensor import Tensor
+
+
+def _train_a_bit(model, optimizer, steps=5):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((16, 4)).astype(np.float32))
+    y = rng.integers(0, 3, 16)
+    for _ in range(steps):
+        optimizer.zero_grad()
+        F.cross_entropy(model(x), y).backward()
+        optimizer.step()
+
+
+class TestRoundtrip:
+    def test_parameters_restored_exactly(self, tmp_path):
+        model = Sequential(Linear(4, 8, seed=0), Linear(8, 3, seed=1))
+        opt = Adam(model.parameters(), lr=0.01)
+        _train_a_bit(model, opt)
+        save_checkpoint(tmp_path / "ckpt.npz", model, opt)
+
+        fresh = Sequential(Linear(4, 8, seed=9), Linear(8, 3, seed=9))
+        fresh_opt = Adam(fresh.parameters(), lr=0.5)
+        load_checkpoint(tmp_path / "ckpt.npz", fresh, fresh_opt)
+
+        for (_, a), (_, b) in zip(model.named_parameters(),
+                                  fresh.named_parameters()):
+            assert np.array_equal(a.data, b.data)
+        assert fresh_opt.lr == 0.01
+        assert fresh_opt._step_count == opt._step_count
+
+    def test_adam_moments_restored(self, tmp_path):
+        model = Linear(4, 3, seed=0)
+        opt = Adam(model.parameters(), lr=0.01)
+        _train_a_bit(model, opt)
+        save_checkpoint(tmp_path / "ckpt.npz", model, opt)
+
+        fresh = Linear(4, 3, seed=5)
+        fresh_opt = Adam(fresh.parameters(), lr=0.01)
+        load_checkpoint(tmp_path / "ckpt.npz", fresh, fresh_opt)
+        for m_old, m_new in zip(opt._m, fresh_opt._m):
+            assert np.allclose(m_old, m_new)
+
+    def test_resume_matches_uninterrupted_training(self, tmp_path):
+        """Train 10 steps straight vs 5 + checkpoint + resume + 5."""
+        straight = Linear(4, 3, seed=0)
+        straight_opt = Adam(straight.parameters(), lr=0.05)
+        _train_a_bit(straight, straight_opt, steps=10)
+
+        half = Linear(4, 3, seed=0)
+        half_opt = Adam(half.parameters(), lr=0.05)
+        _train_a_bit(half, half_opt, steps=5)
+        save_checkpoint(tmp_path / "half.npz", half, half_opt)
+
+        resumed = Linear(4, 3, seed=7)
+        resumed_opt = Adam(resumed.parameters(), lr=0.05)
+        load_checkpoint(tmp_path / "half.npz", resumed, resumed_opt)
+        _train_a_bit(resumed, resumed_opt, steps=5)
+
+        assert np.allclose(straight.weight.data, resumed.weight.data, atol=1e-6)
+
+    def test_metadata_roundtrip(self, tmp_path):
+        model = Linear(2, 2, seed=0)
+        save_checkpoint(tmp_path / "m.npz", model,
+                        metadata={"epoch": 7, "dataset": "ppi"})
+        meta = load_checkpoint(tmp_path / "m.npz", Linear(2, 2, seed=1))
+        assert meta == {"epoch": 7, "dataset": "ppi"}
+
+    def test_model_only_checkpoint(self, tmp_path):
+        model = Linear(2, 2, seed=0)
+        save_checkpoint(tmp_path / "m.npz", model)
+        load_checkpoint(tmp_path / "m.npz", Linear(2, 2, seed=1))
+
+    def test_sgd_lr_restored(self, tmp_path):
+        model = Linear(2, 2, seed=0)
+        opt = SGD(model.parameters(), lr=0.123)
+        save_checkpoint(tmp_path / "m.npz", model, opt)
+        fresh_opt = SGD(Linear(2, 2, seed=1).parameters(), lr=0.9)
+        load_checkpoint(tmp_path / "m.npz", Linear(2, 2, seed=1), fresh_opt)
+        assert fresh_opt.lr == 0.123
+
+
+class TestErrors:
+    def test_missing_checkpoint(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "nope.npz", Linear(2, 2))
+
+    def test_architecture_mismatch(self, tmp_path):
+        save_checkpoint(tmp_path / "m.npz", Linear(2, 2, seed=0))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "m.npz",
+                            Sequential(Linear(2, 2), Linear(2, 2)))
+
+    def test_shape_mismatch(self, tmp_path):
+        save_checkpoint(tmp_path / "m.npz", Linear(2, 2, seed=0))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "m.npz", Linear(2, 3, seed=0))
+
+    def test_bad_version(self, tmp_path):
+        save_checkpoint(tmp_path / "m.npz", Linear(2, 2, seed=0))
+        sidecar = tmp_path / "m.json"
+        sidecar.write_text(sidecar.read_text().replace(
+            '"_format_version": 1', '"_format_version": 42'))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "m.npz", Linear(2, 2))
+
+
+class TestGnnModelCheckpoint:
+    def test_trained_gnn_roundtrips_with_eval_parity(self, tmp_path, machine):
+        from repro.frameworks import get_framework
+        from repro.models.evaluate import evaluate
+        from repro.models.fullbatch import FullBatchTrainer, build_fullbatch_sage
+        fw = get_framework("dglite")
+        fgraph = fw.load("ppi", machine, scale=0.3)
+        model = build_fullbatch_sage(fw, fgraph, hidden=16, dropout=0.0, seed=0)
+        trainer = FullBatchTrainer(fw, fgraph, model, device="cpu")
+        trainer.train_epochs(5)
+        save_checkpoint(tmp_path / "gnn.npz", model, trainer.optimizer)
+
+        restored = build_fullbatch_sage(fw, fgraph, hidden=16, dropout=0.0,
+                                        seed=99)
+        load_checkpoint(tmp_path / "gnn.npz", restored)
+        assert (evaluate(fw, fgraph, model).val
+                == pytest.approx(evaluate(fw, fgraph, restored).val))

@@ -1,0 +1,156 @@
+"""Tests for the multi-GPU data-parallel extension."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    DataParallelTrainer,
+    MultiGpuMachine,
+    multi_gpu_testbed,
+    ring_allreduce,
+    ring_allreduce_time,
+)
+from repro.errors import BenchmarkError, DeviceError
+from repro.frameworks import get_framework
+from repro.hardware.machine import paper_testbed
+from repro.models.graphsage import build_graphsage, graphsage_sampler
+
+
+def _trainer(k=2, epochs=1, reps=2):
+    machine = multi_gpu_testbed(k)
+    fw = get_framework("dglite")
+    fgraph = fw.load("ppi", machine, scale=0.3)
+    sampler = graphsage_sampler(fw, fgraph, seed=0)
+    net = build_graphsage(fw, fgraph, hidden=16, seed=0)
+    return DataParallelTrainer(fw, fgraph, sampler, net, epochs=epochs,
+                               representative_steps=reps)
+
+
+class TestMultiGpuMachine:
+    def test_gpu_zero_is_default_gpu(self):
+        machine = multi_gpu_testbed(3)
+        assert machine.gpus[0] is machine.gpu
+        assert machine.num_gpus == 3
+
+    def test_ranks_have_distinct_names(self):
+        machine = multi_gpu_testbed(4)
+        names = {gpu.name for gpu in machine.gpus}
+        assert len(names) == 4
+
+    def test_rank_lookup_bounds(self):
+        machine = multi_gpu_testbed(2)
+        assert machine.gpu_rank(1) is machine.gpus[1]
+        with pytest.raises(DeviceError):
+            machine.gpu_rank(2)
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(DeviceError):
+            MultiGpuMachine(num_gpus=0)
+
+    def test_total_gpu_energy_counts_all_ranks(self):
+        machine = multi_gpu_testbed(2)
+        machine.clock.occupy(machine.gpus[1].name, 1.0)
+        energy = machine.total_gpu_energy()
+        spec = machine.gpus[1].spec
+        # rank 1 busy 1 s, rank 0 idle 1 s
+        assert energy == pytest.approx(spec.busy_power + spec.idle_power)
+
+
+class TestRingAllreduce:
+    def test_single_gpu_is_free(self):
+        assert ring_allreduce_time(multi_gpu_testbed(1), 1e9) == 0.0
+
+    def test_scales_with_payload(self):
+        machine = multi_gpu_testbed(4)
+        assert (ring_allreduce_time(machine, 2e9)
+                > ring_allreduce_time(machine, 1e9))
+
+    def test_bandwidth_term_matches_formula(self):
+        machine = multi_gpu_testbed(4)
+        link = machine.inter_gpu
+        expected = 6 * link.latency + (2 * 3 / 4) * 1e9 / link.bandwidth
+        assert ring_allreduce_time(machine, 1e9) == pytest.approx(expected)
+
+    def test_charge_occupies_every_gpu(self):
+        machine = multi_gpu_testbed(3)
+        seconds = ring_allreduce(machine, 1e8)
+        for gpu in machine.gpus:
+            assert machine.clock.busy_time(gpu.name) == pytest.approx(seconds)
+        assert machine.clock.now == pytest.approx(seconds)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(DeviceError):
+            ring_allreduce(multi_gpu_testbed(2), -1.0)
+
+
+class TestOccupyParallel:
+    def test_advances_by_max(self, machine):
+        machine.clock.occupy_parallel({"a": 1.0, "b": 3.0})
+        assert machine.clock.now == pytest.approx(3.0)
+        assert machine.clock.busy_time("a") == pytest.approx(1.0)
+
+    def test_backfill_records_without_advancing(self, machine):
+        machine.clock.advance(5.0)
+        machine.clock.occupy_parallel({"replica": 2.0}, backfill=True)
+        assert machine.clock.now == pytest.approx(5.0)
+        assert machine.clock.busy_time("replica", 3.0, 5.0) == pytest.approx(2.0)
+
+    def test_backfill_overlap_rejected(self, machine):
+        machine.clock.occupy("replica", 1.0)
+        with pytest.raises(ValueError):
+            machine.clock.occupy_parallel({"replica": 2.0}, backfill=True)
+
+    def test_empty_or_zero_durations_noop(self, machine):
+        machine.clock.occupy_parallel({})
+        machine.clock.occupy_parallel({"a": 0.0})
+        assert machine.clock.now == 0.0
+
+
+class TestDataParallelTrainer:
+    def test_requires_multi_gpu_machine(self):
+        machine = paper_testbed()
+        fw = get_framework("dglite")
+        fgraph = fw.load("ppi", machine, scale=0.3)
+        sampler = graphsage_sampler(fw, fgraph, seed=0)
+        net = build_graphsage(fw, fgraph, hidden=16, seed=0)
+        with pytest.raises(BenchmarkError):
+            DataParallelTrainer(fw, fgraph, sampler, net)
+
+    def test_runs_and_reduces_loss(self):
+        trainer = _trainer(k=2, epochs=3, reps=3)
+        result = trainer.run()
+        assert result.num_gpus == 2
+        assert len(result.losses) >= 6
+        assert result.losses[-1] < result.losses[0]
+
+    def test_steps_per_epoch_shrink_with_gpus(self):
+        one = _trainer(k=1).run()
+        four = _trainer(k=4).run()
+        assert four.steps_per_epoch == pytest.approx(
+            max(1, int(np.ceil(one.steps_per_epoch / 4))), abs=1
+        )
+
+    def test_replicas_credited_busy_time(self):
+        trainer = _trainer(k=3)
+        result = trainer.run()
+        machine = trainer.machine
+        rank0 = machine.clock.busy_time(machine.gpus[0].name)
+        rank1 = machine.clock.busy_time(machine.gpus[1].name)
+        assert rank1 > 0
+        assert rank1 <= rank0 * 1.01  # replicas mirror rank 0's compute
+
+    def test_training_phase_scales_down(self):
+        one = _trainer(k=1, epochs=1, reps=2).run()
+        four = _trainer(k=4, epochs=1, reps=2).run()
+        assert four.phases["training"] < one.phases["training"]
+
+    def test_sampling_phase_does_not_scale(self):
+        """The headline: CPU sampling is the serial bottleneck."""
+        one = _trainer(k=1, epochs=1, reps=2).run()
+        four = _trainer(k=4, epochs=1, reps=2).run()
+        assert four.phases["sampling"] > 0.7 * one.phases["sampling"]
+
+    def test_energy_grows_with_gpus(self):
+        one = _trainer(k=1).run()
+        four = _trainer(k=4).run()
+        assert four.gpu_energy > one.gpu_energy

@@ -1,0 +1,115 @@
+"""Tests for the partial GPU feature cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchmarkError, DeviceError
+from repro.frameworks import get_framework
+from repro.frameworks.feature_cache import GpuFeatureCache
+from repro.hardware.machine import cpu_only_testbed, paper_testbed
+
+
+@pytest.fixture
+def fgraph(machine):
+    return get_framework("dglite").load("ppi", machine, scale=0.3)
+
+
+class TestConstruction:
+    def test_fraction_bounds(self, fgraph):
+        with pytest.raises(ValueError):
+            GpuFeatureCache(fgraph, fraction=0.0)
+        with pytest.raises(ValueError):
+            GpuFeatureCache(fgraph, fraction=1.5)
+
+    def test_unknown_policy(self, fgraph):
+        with pytest.raises(ValueError):
+            GpuFeatureCache(fgraph, policy="lfu")
+
+    def test_requires_gpu(self):
+        machine = cpu_only_testbed()
+        fgraph = get_framework("dglite").load("ppi", machine, scale=0.3)
+        with pytest.raises(DeviceError):
+            GpuFeatureCache(fgraph)
+
+    def test_capacity_matches_fraction(self, fgraph):
+        cache = GpuFeatureCache(fgraph, fraction=0.25)
+        expected = round(0.25 * fgraph.num_nodes)
+        assert cache.capacity_nodes == expected
+
+    def test_fill_charges_transfer_and_pins_memory(self, fgraph, machine):
+        before_bytes = machine.pcie.counters.bytes_h2d
+        before_mem = machine.gpu.memory.in_use
+        cache = GpuFeatureCache(fgraph, fraction=0.5)
+        assert machine.pcie.counters.bytes_h2d > before_bytes
+        assert machine.gpu.memory.in_use > before_mem
+        cache.release()
+        assert machine.gpu.memory.in_use == before_mem
+
+    def test_degree_policy_caches_hubs(self, fgraph):
+        cache = GpuFeatureCache(fgraph, fraction=0.1, policy="degree")
+        degrees = fgraph.graph.adj.degrees()
+        assert degrees[cache.cached_nodes].mean() > degrees.mean()
+
+
+class TestLookups:
+    def test_hit_mask(self, fgraph):
+        cache = GpuFeatureCache(fgraph, fraction=0.3, policy="degree")
+        nodes = np.arange(fgraph.num_nodes)
+        mask = cache.hit_mask(nodes)
+        assert mask.sum() == cache.capacity_nodes
+
+    def test_hit_rate_accumulates(self, fgraph):
+        cache = GpuFeatureCache(fgraph, fraction=0.5, policy="random", seed=0)
+        cache.hit_mask(np.arange(fgraph.num_nodes))
+        assert cache.hit_rate() == pytest.approx(0.5, abs=0.02)
+
+    def test_degree_cache_beats_random_on_sampled_batches(self, fgraph):
+        """The whole point: hubs appear in most sampled neighborhoods."""
+        fw = fgraph.framework
+        degree_cache = GpuFeatureCache(fgraph, fraction=0.15, policy="degree")
+        random_cache = GpuFeatureCache(fgraph, fraction=0.15, policy="random",
+                                       seed=1)
+        sampler = fw.neighbor_sampler(fgraph, seed=0)
+        for batch in list(sampler.epoch())[:5]:
+            degree_cache.hit_mask(batch.input_nodes)
+            random_cache.hit_mask(batch.input_nodes)
+        assert degree_cache.hit_rate() > random_cache.hit_rate()
+
+
+class TestTrainerIntegration:
+    def _run(self, fraction):
+        from repro.bench import run_training_experiment
+        return run_training_experiment(
+            "dglite", "reddit", "graphsage", placement="cpugpu",
+            epochs=2, representative_batches=2,
+            feature_cache_fraction=fraction,
+        )
+
+    def test_cache_reduces_movement_monotonically(self):
+        base = self._run(0.0)
+        half = self._run(0.5)
+        full = self._run(1.0)
+        assert full.phases["data_movement"] < half.phases["data_movement"]
+        assert half.phases["data_movement"] < base.phases["data_movement"]
+
+    def test_label_carries_fraction(self):
+        assert self._run(0.25).label == "DGL-CPUGPU+cache25"
+
+    def test_cache_with_preload_rejected(self):
+        from repro.bench import run_training_experiment
+        with pytest.raises(BenchmarkError):
+            run_training_experiment("dglite", "ppi", "graphsage",
+                                    placement="cpugpu", preload=True,
+                                    feature_cache_fraction=0.5)
+
+    def test_cache_with_prefetch_rejected(self, fgraph):
+        from repro.models.graphsage import build_graphsage, graphsage_sampler
+        from repro.models.trainer import MiniBatchTrainer, TrainConfig
+        fw = fgraph.framework
+        cache = GpuFeatureCache(fgraph, fraction=0.5)
+        sampler = graphsage_sampler(fw, fgraph, seed=0)
+        net = build_graphsage(fw, fgraph, hidden=16, seed=0)
+        with pytest.raises(BenchmarkError):
+            MiniBatchTrainer(fw, fgraph, sampler, net,
+                             TrainConfig(placement="cpugpu", prefetch=True),
+                             feature_cache=cache)

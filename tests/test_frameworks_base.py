@@ -1,0 +1,199 @@
+"""Tests for framework loading, sampler wrappers, and batch assembly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplerError
+from repro.frameworks import get_framework
+from repro.hardware.machine import paper_testbed
+
+
+@pytest.fixture(params=["dglite", "pyglite"])
+def framework(request):
+    return get_framework(request.param)
+
+
+class TestGetFramework:
+    def test_aliases(self):
+        assert get_framework("dgl").name == "dglite"
+        assert get_framework("PyG").name == "pyglite"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_framework("jraph")
+
+
+class TestLoad:
+    def test_load_produces_framework_graph(self, framework, machine):
+        fgraph = framework.load("ppi", machine, scale=0.3)
+        assert fgraph.num_nodes == fgraph.graph.num_nodes
+        assert fgraph.features.device is machine.cpu
+        assert fgraph.adj.device is machine.cpu
+
+    def test_load_charges_storage_and_build(self, framework, machine):
+        framework.load("ppi", machine, scale=0.3)
+        assert machine.clock.busy_time("storage") > 0
+        assert machine.cpu.counters.busy_seconds > 0
+
+    def test_pyg_loader_faster_than_dgl(self):
+        m1, m2 = paper_testbed(), paper_testbed()
+        get_framework("dglite").load("ppi", m1, scale=0.3)
+        get_framework("pyglite").load("ppi", m2, scale=0.3)
+        assert m2.clock.now < m1.clock.now
+
+    def test_unbundled_dataset_pays_raw_penalty(self):
+        """ogbn-products is bundled in neither framework."""
+        m1, m2 = paper_testbed(), paper_testbed()
+        fw = get_framework("pyglite")
+        fw.load("yelp", m1, scale=0.1)  # bundled in PyG
+        fw.load("ogbn-products", m2, scale=0.1)  # not bundled
+        # products is bigger AND penalized; normalize by logical size
+        from repro.datasets import dataset_spec
+        yelp, products = dataset_spec("yelp"), dataset_spec("ogbn-products")
+        per_edge_1 = m1.cpu.counters.busy_seconds / yelp.logical_num_edges
+        per_edge_2 = m2.cpu.counters.busy_seconds / products.logical_num_edges
+        assert per_edge_2 > per_edge_1
+
+
+class TestCscConversion:
+    def test_pyg_charges_once(self, machine):
+        fw = get_framework("pyglite")
+        fgraph = fw.load("ppi", machine, scale=0.3)
+        before = machine.clock.now
+        fw.neighbor_sampler(fgraph, seed=0)
+        first = machine.clock.now - before
+        assert first > 0
+        before = machine.clock.now
+        fw.saint_sampler(fgraph, seed=0)
+        assert machine.clock.now - before < first  # already converted
+
+    def test_dgl_needs_no_conversion(self, machine):
+        fw = get_framework("dglite")
+        fgraph = fw.load("ppi", machine, scale=0.3)
+        before = machine.clock.now
+        fw.neighbor_sampler(fgraph, seed=0)
+        assert machine.clock.now - before == pytest.approx(0.0, abs=1e-9)
+
+
+class TestNeighborBatches:
+    def test_batch_assembly(self, framework, machine):
+        fgraph = framework.load("ppi", machine, scale=0.3)
+        sampler = framework.neighbor_sampler(fgraph, fanouts=(5, 3),
+                                             batch_size=64, seed=0)
+        batch = next(iter(sampler.epoch()))
+        assert batch.kind == "blocks"
+        assert len(batch.adjs) == 2
+        assert batch.x.shape[0] == batch.adjs[0].num_src
+        assert batch.y.shape[0] == batch.adjs[-1].num_dst
+        assert batch.x.device is machine.cpu
+
+    def test_sampling_charges_time(self, framework, machine):
+        fgraph = framework.load("ppi", machine, scale=0.3)
+        sampler = framework.neighbor_sampler(fgraph, seed=0)
+        before = machine.clock.now
+        sampler.sample(fgraph.graph.train_nodes()[:4])
+        assert machine.clock.now > before
+
+    def test_pyg_sampling_slower(self):
+        machines = {}
+        for name in ("dglite", "pyglite"):
+            machine = paper_testbed()
+            fw = get_framework(name)
+            fgraph = fw.load("ppi", machine, scale=0.3)
+            sampler = fw.neighbor_sampler(fgraph, seed=0)
+            before = machine.clock.now
+            sampler.sample(fgraph.graph.train_nodes()[:4])
+            machines[name] = machine.clock.now - before
+        assert machines["pyglite"] > machines["dglite"]
+
+    def test_gpu_mode_requires_preload(self, machine):
+        fw = get_framework("dglite")
+        fgraph = fw.load("ppi", machine, scale=0.3)
+        with pytest.raises(SamplerError):
+            fw.neighbor_sampler(fgraph, mode="gpu", seed=0)
+
+    def test_gpu_mode_places_batch_on_gpu(self, machine):
+        fw = get_framework("dglite")
+        fgraph = fw.load("ppi", machine, scale=0.3)
+        fgraph.preload_to_gpu()
+        sampler = fw.neighbor_sampler(fgraph, mode="gpu", seed=0)
+        batch = sampler.sample(fgraph.graph.train_nodes()[:4])
+        assert batch.x.device is machine.gpu
+
+    def test_uva_mode_charges_gpu_and_uva_traffic(self, machine):
+        fw = get_framework("dglite")
+        fgraph = fw.load("ppi", machine, scale=0.3)
+        sampler = fw.neighbor_sampler(fgraph, mode="uva", seed=0)
+        before_uva = machine.pcie.counters.bytes_uva
+        batch = sampler.sample(fgraph.graph.train_nodes()[:4])
+        assert machine.pcie.counters.bytes_uva > before_uva
+        assert batch.x.device is machine.gpu
+
+    def test_pyg_has_no_gpu_sampler(self, machine):
+        fw = get_framework("pyglite")
+        fgraph = fw.load("ppi", machine, scale=0.3)
+        with pytest.raises(SamplerError):
+            fw.neighbor_sampler(fgraph, mode="gpu")
+        with pytest.raises(SamplerError):
+            fw.neighbor_sampler(fgraph, mode="uva")
+
+    def test_unknown_mode_rejected(self, machine):
+        fw = get_framework("dglite")
+        fgraph = fw.load("ppi", machine, scale=0.3)
+        with pytest.raises(SamplerError):
+            fw.neighbor_sampler(fgraph, mode="tpu")
+
+
+class TestSubgraphBatches:
+    @pytest.mark.parametrize("kind", ["cluster", "saint"])
+    def test_batch_assembly(self, framework, machine, kind):
+        fgraph = framework.load("ppi", machine, scale=0.3)
+        if kind == "cluster":
+            sampler = framework.cluster_sampler(fgraph, seed=0)
+        else:
+            sampler = framework.saint_sampler(fgraph, seed=0)
+        batch = next(iter(sampler.epoch()))
+        assert batch.kind == "subgraph"
+        assert len(batch.adjs) == 1
+        assert batch.adjs[0].num_src == batch.adjs[0].num_dst == batch.x.shape[0]
+        assert batch.train_rows is not None
+
+    def test_cluster_partition_charged_once(self, framework, machine):
+        fgraph = framework.load("ppi", machine, scale=0.3)
+        sampler = framework.cluster_sampler(fgraph, seed=0)
+        before = machine.clock.now
+        sampler.ensure_partitioned()
+        first = machine.clock.now - before
+        assert first > 0
+        before = machine.clock.now
+        sampler.ensure_partitioned()
+        assert machine.clock.now == before
+
+
+class TestPreload:
+    def test_preload_moves_features_and_structure(self, machine):
+        fw = get_framework("dglite")
+        fgraph = fw.load("ppi", machine, scale=0.3)
+        before = machine.pcie.counters.bytes_h2d
+        fgraph.preload_to_gpu()
+        moved = machine.pcie.counters.bytes_h2d - before
+        assert moved >= fgraph.features.logical_nbytes
+        assert fgraph.preloaded_gpu
+        assert fgraph.features_on(machine.gpu).device is machine.gpu
+
+    def test_preload_requires_gpu(self):
+        from repro.errors import DeviceError
+        from repro.hardware.machine import cpu_only_testbed
+        machine = cpu_only_testbed()
+        fw = get_framework("dglite")
+        fgraph = fw.load("ppi", machine, scale=0.3)
+        with pytest.raises(DeviceError):
+            fgraph.preload_to_gpu()
+
+    def test_preloaded_batches_fetch_on_gpu(self, machine):
+        fw = get_framework("dglite")
+        fgraph = fw.load("ppi", machine, scale=0.3)
+        fgraph.preload_to_gpu()
+        sampler = fw.neighbor_sampler(fgraph, seed=0)  # CPU sampling
+        batch = sampler.sample(fgraph.graph.train_nodes()[:4])
+        assert batch.x.device is machine.gpu  # features already resident

@@ -1,0 +1,92 @@
+"""Tests for the shared conv-layer helpers (normalizations, self-loops)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.frameworks.common import (
+    dst_rows,
+    gcn_norm_weight,
+    mean_norm_weight,
+    neg_laplacian_weight,
+    with_self_loops,
+)
+from repro.kernels.adj import SparseAdj
+from repro.tensor.tensor import Tensor
+
+
+@pytest.fixture
+def square():
+    # 0->1, 1->2, 2->0, 0->2
+    return SparseAdj(np.array([0, 1, 2, 0]), np.array([1, 2, 0, 2]), 3, 3)
+
+
+class TestSelfLoops:
+    def test_adds_one_loop_per_node(self, square):
+        looped = with_self_loops(square)
+        assert looped.num_edges == square.num_edges + 3
+        loops = (looped.src == looped.dst).sum()
+        assert loops == 3
+
+    def test_preserves_scales_and_device(self, machine):
+        adj = SparseAdj(np.array([0]), np.array([1]), 2, 2,
+                        device=machine.cpu, node_scale=3.0, edge_scale=7.0)
+        looped = with_self_loops(adj)
+        assert looped.device is machine.cpu
+        assert looped.node_scale == 3.0
+        assert looped.edge_scale == 7.0
+
+    def test_rejects_bipartite(self):
+        adj = SparseAdj(np.array([0]), np.array([0]), num_src=4, num_dst=2)
+        with pytest.raises(GraphFormatError):
+            with_self_loops(adj)
+
+
+class TestGcnNorm:
+    def test_values_match_formula(self, square):
+        looped = with_self_loops(square)
+        norm = gcn_norm_weight(looped)
+        deg = np.maximum(looped.in_degrees().astype(np.float64), 1.0)
+        expected = 1.0 / np.sqrt(deg[looped.src] * deg[looped.dst])
+        assert np.allclose(norm.data, expected, atol=1e-6)
+
+    def test_symmetric_normalization_rows_bounded(self, square):
+        """Each normalized row sums to <= sqrt(deg) ratio; spectral radius
+        of the normalized adjacency is <= 1 (power iteration check)."""
+        from repro.kernels.spmm import spmm
+        looped = with_self_loops(square)
+        norm = gcn_norm_weight(looped)
+        x = Tensor(np.random.default_rng(0).random((3, 1)).astype(np.float32))
+        for _ in range(30):
+            x = spmm(looped, x, weight=norm)
+        assert np.isfinite(x.data).all()
+        assert np.abs(x.data).max() < 10.0  # no blow-up
+
+
+class TestMeanNorm:
+    def test_turns_sum_into_mean(self, square):
+        from repro.kernels.spmm import spmm
+        weight = mean_norm_weight(square)
+        x = Tensor(np.array([[3.0], [6.0], [9.0]], dtype=np.float32))
+        out = spmm(square, x, weight=weight)
+        # node 2 receives from 1 and 0 -> mean(6, 3) = 4.5
+        assert out.data[2, 0] == pytest.approx(4.5)
+
+
+class TestNegLaplacian:
+    def test_weights_are_negative(self, square):
+        norm = neg_laplacian_weight(square)
+        assert np.all(norm.data <= 0)
+
+
+class TestDstRows:
+    def test_noop_for_square(self, square):
+        x = Tensor(np.random.default_rng(0).random((3, 4)).astype(np.float32))
+        assert dst_rows(x, square) is x
+
+    def test_prefix_for_bipartite(self):
+        adj = SparseAdj(np.array([0]), np.array([0]), num_src=5, num_dst=2)
+        x = Tensor(np.arange(10, dtype=np.float32).reshape(5, 2))
+        rows = dst_rows(x, adj)
+        assert rows.shape == (2, 2)
+        assert np.allclose(rows.data, x.data[:2])

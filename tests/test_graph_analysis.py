@@ -1,0 +1,107 @@
+"""Tests for graph analysis statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.analysis import (
+    assortativity_by_labels,
+    clustering_coefficient,
+    degree_stats,
+    label_homophily_baseline,
+)
+from repro.graph.formats import AdjacencyCOO
+from repro.graph.generators import dcsbm_graph, erdos_renyi_graph, ring_graph
+
+
+class TestDegreeStats:
+    def test_ring_is_uniform(self):
+        stats = degree_stats(ring_graph(50).to_csr())
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.maximum == 2
+        assert stats.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_is_maximally_concentrated(self):
+        n = 100
+        src = np.concatenate([np.zeros(n - 1, dtype=np.int64),
+                              np.arange(1, n)])
+        dst = np.concatenate([np.arange(1, n),
+                              np.zeros(n - 1, dtype=np.int64)])
+        stats = degree_stats(AdjacencyCOO(n, src, dst).to_csr())
+        assert stats.maximum == n - 1
+        assert stats.gini > 0.4
+        assert stats.tail_ratio == pytest.approx(0.5, abs=0.01)
+
+    def test_dcsbm_heavier_tailed_than_er(self):
+        dcsbm, _ = dcsbm_graph(1000, 8000, seed=0)
+        er = erdos_renyi_graph(1000, 8000, seed=0)
+        assert degree_stats(dcsbm.to_csr()).gini > degree_stats(er.to_csr()).gini
+        assert (degree_stats(dcsbm.to_csr()).tail_ratio
+                > degree_stats(er.to_csr()).tail_ratio)
+
+    def test_empty_graph(self):
+        empty = AdjacencyCOO(0, np.array([], dtype=np.int64),
+                             np.array([], dtype=np.int64)).to_csr()
+        stats = degree_stats(empty)
+        assert stats.mean == 0.0
+
+
+class TestClustering:
+    def test_community_graph_clusters_more_than_random(self):
+        dcsbm, _ = dcsbm_graph(600, 6000, num_communities=6,
+                               intra_prob=0.9, seed=0)
+        er = erdos_renyi_graph(600, 6000, seed=0)
+        assert (clustering_coefficient(dcsbm.to_csr(), seed=1)
+                > clustering_coefficient(er.to_csr(), seed=1))
+
+    def test_triangle_is_fully_clustered(self):
+        coo = AdjacencyCOO(3, np.array([0, 1, 2, 1, 2, 0]),
+                           np.array([1, 2, 0, 0, 1, 2]))
+        assert clustering_coefficient(coo.to_csr(), seed=0) == pytest.approx(1.0)
+
+    def test_ring_has_no_triangles(self):
+        assert clustering_coefficient(ring_graph(20).to_csr(), seed=0) == 0.0
+
+
+class TestHomophily:
+    def test_community_labels_are_homophilous(self):
+        coo, comm = dcsbm_graph(600, 6000, num_communities=6,
+                                intra_prob=0.9, seed=0)
+        observed = assortativity_by_labels(coo.to_csr(), comm)
+        baseline = label_homophily_baseline(comm)
+        assert observed > 2 * baseline
+
+    def test_baseline_formula(self):
+        labels = np.array([0, 0, 1, 1])
+        assert label_homophily_baseline(labels) == pytest.approx(0.5)
+
+    def test_requires_single_labels(self):
+        coo = ring_graph(4).to_csr()
+        with pytest.raises(ValueError):
+            assortativity_by_labels(coo, np.zeros((4, 2)))
+
+
+class TestDatasetFidelity:
+    """The synthetic Table 1 datasets keep their real counterparts' shape."""
+
+    def test_all_datasets_heavy_tailed(self):
+        from repro.datasets import get_dataset, list_datasets
+        for spec in list_datasets():
+            graph = get_dataset(spec.name, scale=0.5)
+            stats = degree_stats(graph.adj)
+            assert stats.gini > 0.2, spec.name  # far from uniform
+            assert stats.tail_ratio > 0.03, spec.name
+
+    def test_reddit_densest_actual(self):
+        from repro.datasets import get_dataset
+        reddit = get_dataset("reddit", scale=0.5)
+        ppi = get_dataset("ppi", scale=0.5)
+        assert (reddit.num_edges / reddit.num_nodes
+                > ppi.num_edges / ppi.num_nodes)
+
+    def test_labels_homophilous_enough_to_learn(self):
+        from repro.datasets import get_dataset
+        for name in ("flickr", "ogbn-arxiv"):
+            graph = get_dataset(name, scale=0.5)
+            observed = assortativity_by_labels(graph.adj, graph.labels)
+            baseline = label_homophily_baseline(graph.labels)
+            assert observed > 1.5 * baseline, name

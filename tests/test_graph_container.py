@@ -1,0 +1,74 @@
+"""Tests for the Graph container and logical-scale bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph, GraphStats, Split
+
+
+class TestSplit:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            Split(0.5, 0.1, 0.1)
+        Split(0.66, 0.12, 0.22)  # ok
+
+
+class TestGraphStats:
+    def test_derived_quantities(self):
+        stats = GraphStats("g", "d", 1000, 8000, 32, 4, False, Split(0.6, 0.2, 0.2))
+        assert stats.avg_degree == pytest.approx(8.0)
+        assert stats.feature_nbytes() == 4 * 1000 * 32
+        assert stats.structure_nbytes() == 8 * 1001 + 8 * 8000
+        assert stats.label_nbytes() == 8 * 1000
+
+    def test_multilabel_label_bytes(self):
+        stats = GraphStats("g", "d", 100, 400, 8, 10, True, Split(0.6, 0.2, 0.2))
+        assert stats.label_nbytes() == 4 * 10 * 100
+
+
+class TestGraph:
+    def test_validation(self, tiny_graph):
+        with pytest.raises(GraphFormatError):
+            Graph(
+                tiny_graph.adj,
+                tiny_graph.features[:-1],  # wrong row count
+                tiny_graph.labels,
+                tiny_graph.train_mask,
+                tiny_graph.val_mask,
+                tiny_graph.test_mask,
+                tiny_graph.stats,
+            )
+
+    def test_scales_reflect_logical_sizes(self, tiny_graph):
+        assert tiny_graph.node_scale == pytest.approx(
+            tiny_graph.stats.logical_num_nodes / tiny_graph.num_nodes
+        )
+        assert tiny_graph.node_scale > 1.0
+        assert tiny_graph.edge_scale > 1.0
+
+    def test_mask_node_lists(self, tiny_graph):
+        train = tiny_graph.train_nodes()
+        val = tiny_graph.val_nodes()
+        test = tiny_graph.test_nodes()
+        assert train.size + val.size + test.size == tiny_graph.num_nodes
+        assert np.intersect1d(train, val).size == 0
+
+    def test_subgraph_basic(self, tiny_graph):
+        nodes = np.arange(50)
+        sub = tiny_graph.subgraph(nodes)
+        assert sub.num_nodes == 50
+        assert sub.features.shape == (50, tiny_graph.num_features)
+        assert sub.labels.shape[0] == 50
+
+    def test_subgraph_inherits_scales(self, tiny_graph):
+        nodes = np.arange(60)
+        sub = tiny_graph.subgraph(nodes)
+        assert sub.node_scale == pytest.approx(tiny_graph.node_scale, rel=0.02)
+        if sub.num_edges:
+            assert sub.edge_scale == pytest.approx(tiny_graph.edge_scale, rel=0.02)
+
+    def test_subgraph_edges_internal(self, tiny_graph):
+        nodes = np.arange(40)
+        sub = tiny_graph.subgraph(nodes)
+        assert sub.adj.indices.max(initial=0) < 40

@@ -1,0 +1,83 @@
+"""Tests for the graph validators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.validation import assert_valid_graph, validate_graph
+
+
+class TestValidGraphs:
+    def test_tiny_graph_passes(self, tiny_graph):
+        assert validate_graph(tiny_graph) == []
+
+    def test_datasets_pass_with_symmetry(self):
+        from repro.datasets import get_dataset
+        for name in ("ppi", "flickr"):
+            graph = get_dataset(name, scale=0.3)
+            assert validate_graph(graph, require_symmetric=True) == []
+
+    def test_assert_valid_is_silent_on_good_graph(self, tiny_graph):
+        assert_valid_graph(tiny_graph)
+
+
+class TestBrokenGraphs:
+    def test_nonfinite_features_detected(self, tiny_graph):
+        tiny_graph.features[0, 0] = np.nan
+        try:
+            assert "non-finite feature values" in validate_graph(tiny_graph)
+        finally:
+            tiny_graph.features[0, 0] = 0.0
+
+    def test_label_out_of_range_detected(self, tiny_graph):
+        original = tiny_graph.labels[0]
+        tiny_graph.labels[0] = tiny_graph.stats.num_classes + 3
+        try:
+            assert "label value outside class range" in validate_graph(tiny_graph)
+        finally:
+            tiny_graph.labels[0] = original
+
+    def test_overlapping_masks_detected(self, tiny_graph):
+        idx = int(np.nonzero(tiny_graph.train_mask)[0][0])
+        tiny_graph.val_mask[idx] = True
+        try:
+            assert "split masks overlap" in validate_graph(tiny_graph)
+        finally:
+            tiny_graph.val_mask[idx] = False
+
+    def test_uncovered_nodes_detected(self, tiny_graph):
+        idx = int(np.nonzero(tiny_graph.train_mask)[0][0])
+        tiny_graph.train_mask[idx] = False
+        try:
+            assert "split masks do not cover all nodes" in validate_graph(tiny_graph)
+        finally:
+            tiny_graph.train_mask[idx] = True
+
+    def test_asymmetry_detected(self, tiny_graph):
+        from repro.graph.formats import AdjacencyCOO
+        from repro.graph.graph import Graph
+        directed = Graph(
+            AdjacencyCOO(tiny_graph.num_nodes,
+                         np.array([0]), np.array([1])).to_csr(),
+            tiny_graph.features,
+            tiny_graph.labels,
+            tiny_graph.train_mask,
+            tiny_graph.val_mask,
+            tiny_graph.test_mask,
+            tiny_graph.stats,
+        )
+        assert "edge set is not symmetric" in validate_graph(
+            directed, require_symmetric=True)
+
+    def test_assert_raises_with_all_problems(self, tiny_graph):
+        tiny_graph.features[0, 0] = np.inf
+        idx = int(np.nonzero(tiny_graph.train_mask)[0][0])
+        tiny_graph.val_mask[idx] = True
+        try:
+            with pytest.raises(GraphFormatError) as err:
+                assert_valid_graph(tiny_graph)
+            assert "non-finite" in str(err.value)
+            assert "overlap" in str(err.value)
+        finally:
+            tiny_graph.features[0, 0] = 0.0
+            tiny_graph.val_mask[idx] = False

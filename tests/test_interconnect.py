@@ -1,0 +1,55 @@
+"""Tests for the PCIe interconnect model."""
+
+import pytest
+
+from repro.hardware.interconnect import Interconnect
+from repro.hardware.specs import LinkSpec, PAPER_PCIE
+from repro.simtime import VirtualClock
+
+
+@pytest.fixture
+def link():
+    return Interconnect(PAPER_PCIE, VirtualClock())
+
+
+class TestTransfers:
+    def test_transfer_time_is_latency_plus_bandwidth(self, link):
+        nbytes = PAPER_PCIE.bandwidth  # one second of payload
+        assert link.transfer_time(nbytes) == pytest.approx(1.0 + PAPER_PCIE.latency)
+
+    def test_h2d_advances_clock_and_counts(self, link):
+        seconds = link.h2d(1e9, tag="features")
+        assert link.clock.now == pytest.approx(seconds)
+        assert link.counters.bytes_h2d == pytest.approx(1e9)
+        assert link.counters.transfers == 1
+        assert link.counters.by_tag["features"] == pytest.approx(seconds)
+
+    def test_d2h_counts_separately(self, link):
+        link.d2h(5e8)
+        assert link.counters.bytes_d2h == pytest.approx(5e8)
+        assert link.counters.bytes_h2d == 0.0
+
+    def test_negative_size_rejected(self, link):
+        with pytest.raises(ValueError):
+            link.transfer_time(-1.0)
+
+    def test_busy_interval_attributed_to_pcie(self, link):
+        link.h2d(1e9)
+        assert link.clock.busy_time(Interconnect.BUSY_KEY) > 0
+
+
+class TestUva:
+    def test_uva_read_slower_than_dma(self, link):
+        nbytes = 1e9
+        assert link.uva_read_time(nbytes) > link.transfer_time(nbytes)
+
+    def test_uva_traffic_recorded_without_time(self, link):
+        link.record_uva(1e6)
+        assert link.counters.bytes_uva == pytest.approx(1e6)
+        assert link.clock.now == 0.0
+
+    def test_uva_unsupported_link_raises(self):
+        spec = LinkSpec("nouva", bandwidth=1e9, latency=1e-6, uva_bandwidth=0.0)
+        link = Interconnect(spec, VirtualClock())
+        with pytest.raises(ValueError):
+            link.uva_read_time(100)

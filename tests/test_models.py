@@ -1,0 +1,115 @@
+"""Tests for the model skeletons and the three paper GNNs."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks import get_framework
+from repro.kernels.adj import SparseAdj
+from repro.models.base import BlockNet, SubgraphNet, make_loss, two_layer_net
+from repro.models.clustergcn import build_clustergcn
+from repro.models.graphsage import build_graphsage
+from repro.models.graphsaint import build_graphsaint
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+RNG = np.random.default_rng(77)
+
+
+@pytest.fixture
+def square_adj():
+    src = RNG.integers(0, 20, 160)
+    dst = RNG.integers(0, 20, 160)
+    return SparseAdj(src, dst, 20, 20)
+
+
+class TestSubgraphNet:
+    def test_forward_shape(self, square_adj):
+        fw = get_framework("dglite")
+        net = two_layer_net(fw, "gcn", 6, 16, 3, style="subgraph", seed=0)
+        x = Tensor(RNG.random((20, 6)).astype(np.float32))
+        assert net(square_adj, x).shape == (20, 3)
+
+    def test_training_reduces_loss(self, square_adj):
+        fw = get_framework("dglite")
+        net = two_layer_net(fw, "gcn", 6, 16, 3, style="subgraph", dropout=0.0, seed=0)
+        from repro.tensor.optim import Adam
+        opt = Adam(net.parameters(), lr=0.02)
+        x = Tensor(RNG.random((20, 6)).astype(np.float32))
+        y = RNG.integers(0, 3, 20)
+        first = last = None
+        for _ in range(40):
+            opt.zero_grad()
+            loss = F.cross_entropy(net(square_adj, x), y)
+            loss.backward()
+            opt.step()
+            first = first if first is not None else loss.item()
+            last = loss.item()
+        assert last < first * 0.7
+
+    def test_dropout_only_in_train_mode(self, square_adj):
+        fw = get_framework("dglite")
+        net = two_layer_net(fw, "gcn", 6, 16, 3, style="subgraph", dropout=0.9, seed=0)
+        x = Tensor(RNG.random((20, 6)).astype(np.float32))
+        net.eval()
+        a = net(square_adj, x)
+        b = net(square_adj, x)
+        assert np.allclose(a.data, b.data)  # eval: deterministic
+
+
+class TestBlockNet:
+    def _blocks(self):
+        b1 = SparseAdj(np.array([0, 4, 5]), np.array([0, 1, 2]), num_src=6, num_dst=3)
+        b2 = SparseAdj(np.array([0, 1, 2]), np.array([0, 0, 1]), num_src=3, num_dst=2)
+        return [b1, b2]
+
+    def test_forward_through_blocks(self):
+        fw = get_framework("dglite")
+        net = two_layer_net(fw, "sage", 4, 8, 3, style="blocks", seed=0)
+        x = Tensor(RNG.random((6, 4)).astype(np.float32))
+        out = net(self._blocks(), x)
+        assert out.shape == (2, 3)
+
+    def test_block_count_must_match_layers(self):
+        fw = get_framework("dglite")
+        net = two_layer_net(fw, "sage", 4, 8, 3, style="blocks", seed=0)
+        x = Tensor(RNG.random((6, 4)).astype(np.float32))
+        with pytest.raises(ValueError):
+            net(self._blocks()[:1], x)
+
+    def test_invalid_style_rejected(self):
+        fw = get_framework("dglite")
+        with pytest.raises(ValueError):
+            two_layer_net(fw, "sage", 4, 8, 3, style="diagonal")
+
+
+class TestMakeLoss:
+    def test_single_label_uses_cross_entropy(self):
+        assert make_loss(False) is F.cross_entropy
+
+    def test_multilabel_uses_bce(self):
+        assert make_loss(True) is F.binary_cross_entropy_with_logits
+
+
+class TestPaperModels:
+    @pytest.mark.parametrize("builder,conv_attr", [
+        (build_graphsage, "sage"),
+        (build_clustergcn, "gcn"),
+        (build_graphsaint, "gcn"),
+    ])
+    def test_two_layers_right_dims(self, machine, builder, conv_attr):
+        fw = get_framework("dglite")
+        fgraph = fw.load("ppi", machine, scale=0.3)
+        net = builder(fw, fgraph, hidden=32, seed=0)
+        assert net.num_layers == 2
+        params = dict(net.named_parameters())
+        assert any("conv0" in name for name in params)
+        assert any("conv1" in name for name in params)
+
+    def test_graphsage_output_matches_classes(self, machine):
+        fw = get_framework("dglite")
+        fgraph = fw.load("ppi", machine, scale=0.3)
+        net = build_graphsage(fw, fgraph, hidden=16, seed=0)
+        sampler = fw.neighbor_sampler(fgraph, fanouts=(4, 4), batch_size=64, seed=0)
+        batch = next(iter(sampler.epoch()))
+        out = net(batch.adjs, batch.x)
+        assert out.shape == (batch.y.shape[0], fgraph.stats.num_classes)

@@ -1,0 +1,177 @@
+"""Paper-observation shape tests at reduced scale.
+
+Each test asserts the *qualitative* claim of one of the paper's eight
+observations, using the same harness the benchmark suite uses (smaller
+datasets / fewer epochs so the whole module stays fast).
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    measure_conv_forward,
+    measure_data_loader,
+    measure_sampler_epoch,
+    run_training_experiment,
+)
+
+FAST = dict(epochs=2, representative_batches=2)
+
+
+class TestObservation1DataLoader:
+    """PyG's data loader is more efficient than DGL's."""
+
+    @pytest.mark.parametrize("dataset", ["ppi", "reddit"])
+    def test_pyg_loads_faster(self, dataset):
+        dgl = measure_data_loader("dglite", dataset)
+        pyg = measure_data_loader("pyglite", dataset)
+        assert pyg < dgl
+
+
+class TestObservation2Samplers:
+    """All three DGL samplers beat PyG's; the SAINT gap is smallest."""
+
+    @pytest.mark.parametrize("sampler", ["neighbor", "cluster", "saint_rw"])
+    def test_dgl_sampler_faster(self, sampler):
+        dgl = measure_sampler_epoch("dglite", "flickr", sampler)["epoch"]
+        pyg = measure_sampler_epoch("pyglite", "flickr", sampler)["epoch"]
+        assert dgl < pyg
+
+    def test_saint_gap_smallest(self):
+        ratios = {}
+        for sampler in ("neighbor", "cluster", "saint_rw"):
+            dgl = measure_sampler_epoch("dglite", "flickr", sampler)["epoch"]
+            pyg = measure_sampler_epoch("pyglite", "flickr", sampler)["epoch"]
+            ratios[sampler] = pyg / dgl
+        assert ratios["saint_rw"] == min(ratios.values())
+
+    def test_saint_sampler_cheapest_overall(self):
+        times = {
+            s: measure_sampler_epoch("dglite", "flickr", s)["epoch"]
+            for s in ("neighbor", "cluster", "saint_rw")
+        }
+        assert times["saint_rw"] == min(times.values())
+
+
+class TestObservation3ConvLayers:
+    """DGL conv layers win on CPU; GPU crossover; PyG OOMs unfused layers."""
+
+    @pytest.mark.parametrize("kind", ["gcn", "sage", "gat", "tag"])
+    def test_dgl_faster_on_cpu(self, kind):
+        dgl = measure_conv_forward("dglite", "flickr", kind, device="cpu")
+        pyg = measure_conv_forward("pyglite", "flickr", kind, device="cpu")
+        assert dgl.phases["forward"] < pyg.phases["forward"]
+
+    def test_pyg_faster_on_gpu_for_smallest_graph(self):
+        dgl = measure_conv_forward("dglite", "ppi", "gcn", device="gpu")
+        pyg = measure_conv_forward("pyglite", "ppi", "gcn", device="gpu")
+        assert pyg.phases["forward"] < dgl.phases["forward"]
+
+    def test_dgl_faster_on_gpu_for_largest_graph(self):
+        dgl = measure_conv_forward("dglite", "reddit", "gcn", device="gpu")
+        pyg = measure_conv_forward("pyglite", "reddit", "gcn", device="gpu")
+        assert dgl.phases["forward"] < pyg.phases["forward"]
+
+    def test_gpu_speedup_is_large(self):
+        cpu = measure_conv_forward("dglite", "reddit", "gatv2", device="cpu")
+        gpu = measure_conv_forward("dglite", "reddit", "gatv2", device="gpu")
+        assert cpu.phases["forward"] / gpu.phases["forward"] > 10
+
+    @pytest.mark.parametrize("kind", ["cheb", "gat", "gatv2"])
+    def test_pyg_unfused_layers_oom_on_reddit_gpu(self, kind):
+        result = measure_conv_forward("pyglite", "reddit", kind, device="gpu")
+        assert result.oom
+
+    @pytest.mark.parametrize("kind", ["gcn", "sage", "sg"])
+    def test_pyg_fused_layers_fit_on_reddit_gpu(self, kind):
+        result = measure_conv_forward("pyglite", "reddit", kind, device="gpu")
+        assert not result.oom
+
+    def test_dgl_attention_layers_fit_on_reddit_gpu(self):
+        for kind in ("gat", "gatv2", "cheb"):
+            result = measure_conv_forward("dglite", "reddit", kind, device="gpu")
+            assert not result.oom, kind
+
+
+class TestObservation4SamplingDominates:
+    """Sampling can take up to ~90% of total runtime."""
+
+    def test_sampling_dominates_pyg_cpu(self):
+        result = run_training_experiment("pyglite", "reddit", "graphsage",
+                                         placement="cpu", **FAST)
+        assert result.phase_fraction("sampling") > 0.5
+
+    def test_sampling_large_even_for_dgl(self):
+        result = run_training_experiment("dglite", "reddit", "graphsage",
+                                         placement="cpu", **FAST)
+        assert result.phase_fraction("sampling") > 0.25
+
+
+class TestObservation5DglGenerallyWins:
+    """DGL is generally more efficient in runtime and energy."""
+
+    @pytest.mark.parametrize("model", ["graphsage", "clustergcn"])
+    def test_dgl_faster_and_greener_on_large_graph(self, model):
+        dgl = run_training_experiment("dglite", "reddit", model,
+                                      placement="cpu", **FAST)
+        pyg = run_training_experiment("pyglite", "reddit", model,
+                                      placement="cpu", **FAST)
+        assert dgl.total_time < pyg.total_time
+        assert dgl.total_energy < pyg.total_energy
+
+    def test_energy_tracks_runtime_not_power(self):
+        """'No clear winner in average power': the ratio of energies is
+        close to the ratio of runtimes."""
+        dgl = run_training_experiment("dglite", "flickr", "graphsage",
+                                      placement="cpu", **FAST)
+        pyg = run_training_experiment("pyglite", "flickr", "graphsage",
+                                      placement="cpu", **FAST)
+        time_ratio = pyg.total_time / dgl.total_time
+        energy_ratio = pyg.total_energy / dgl.total_energy
+        assert energy_ratio == pytest.approx(time_ratio, rel=0.25)
+
+
+class TestObservation6Preloading:
+    """Pre-loading slashes data movement."""
+
+    def test_movement_reduced_on_reddit(self):
+        base = run_training_experiment("dglite", "reddit", "graphsage",
+                                       placement="cpugpu", **FAST)
+        pre = run_training_experiment("dglite", "reddit", "graphsage",
+                                      placement="cpugpu", preload=True, **FAST)
+        assert pre.phases["data_movement"] < base.phases["data_movement"] / 2
+        assert pre.total_time < base.total_time
+
+
+class TestObservation7GpuSamplingFraction:
+    """GPU sampling shrinks the sampling share but does not eliminate it."""
+
+    def test_sampling_share_shrinks_but_persists(self):
+        cpu = run_training_experiment("dglite", "reddit", "graphsage",
+                                      placement="cpugpu", **FAST)
+        gpu = run_training_experiment("dglite", "reddit", "graphsage",
+                                      placement="gpu", **FAST)
+        assert gpu.phase_fraction("sampling") < cpu.phase_fraction("sampling")
+        assert gpu.phase_fraction("sampling") > 0.05
+
+
+class TestObservation8GpuSamplingSavesEnergy:
+    """DGL-GPU / DGL-UVAGPU: Speedup > 1 and Greenup > 1 vs DGL-CPUGPU."""
+
+    def test_speedup_and_greenup(self):
+        from repro.metrics import gps_up
+        base = run_training_experiment("dglite", "reddit", "graphsage",
+                                       placement="cpugpu", **FAST)
+        for placement in ("gpu", "uvagpu"):
+            opt = run_training_experiment("dglite", "reddit", "graphsage",
+                                          placement=placement, **FAST)
+            metrics = gps_up(base.total_time, base.total_energy,
+                             opt.total_time, opt.total_energy)
+            assert metrics.speedup > 1
+            assert metrics.greenup > 1
+
+    def test_uva_slower_than_gpu_resident(self):
+        gpu = run_training_experiment("dglite", "reddit", "graphsage",
+                                      placement="gpu", **FAST)
+        uva = run_training_experiment("dglite", "reddit", "graphsage",
+                                      placement="uvagpu", **FAST)
+        assert uva.total_time > gpu.total_time

@@ -1,0 +1,43 @@
+"""Tests for the executable observation checklist."""
+
+import pytest
+
+from repro.bench.observations import (
+    CHECKS,
+    ObservationResult,
+    format_observation_report,
+    run_all_observations,
+)
+
+
+class TestChecklist:
+    def test_eight_checks_registered(self):
+        assert len(CHECKS) == 8
+
+    @pytest.mark.parametrize("check", CHECKS,
+                             ids=[f"obs{i + 1}" for i in range(len(CHECKS))])
+    def test_each_observation_passes(self, check):
+        result = check()
+        assert isinstance(result, ObservationResult)
+        assert result.passed, result.evidence
+        assert result.evidence  # every verdict carries its numbers
+
+    def test_numbers_are_ordered(self):
+        results = run_all_observations()
+        assert [r.number for r in results] == list(range(1, 9))
+
+    def test_report_rendering(self):
+        results = [
+            ObservationResult(1, "claim A", True, {"x": 1.0}),
+            ObservationResult(2, "claim B", False, {"y": 2.0}),
+        ]
+        text = format_observation_report(results)
+        assert "[PASS] Obs 1" in text
+        assert "[FAIL] Obs 2" in text
+        assert "1/2 observations reproduced" in text
+
+    def test_cli_observations_command(self, capsys):
+        from repro.cli import main
+        assert main(["observations"]) == 0
+        out = capsys.readouterr().out
+        assert "8/8 observations reproduced" in out

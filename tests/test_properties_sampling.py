@@ -1,0 +1,114 @@
+"""Property-based tests on the sampler algorithms (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.base import DatasetSpec, build_dataset
+from repro.graph.graph import Split
+from repro.sampling.cluster import ClusterSampler
+from repro.sampling.neighbor import NeighborSampler
+from repro.sampling.randomwalk import RandomWalkSampler
+
+settings.register_profile("repro-sampling", max_examples=15, deadline=None)
+settings.load_profile("repro-sampling")
+
+
+def _graph(seed: int):
+    spec = DatasetSpec(
+        name=f"prop-{seed}",
+        description="property-test graph",
+        logical_num_nodes=5_000,
+        logical_num_edges=40_000,
+        num_features=8,
+        num_classes=4,
+        multilabel=False,
+        split=Split(0.6, 0.2, 0.2),
+        actual_num_nodes=200,
+        actual_num_edges=1600,
+        num_communities=4,
+        seed=seed,
+    )
+    return build_dataset(spec)
+
+
+GRAPH_SEEDS = st.integers(min_value=0, max_value=5)
+
+
+class TestNeighborProperties:
+    @given(GRAPH_SEEDS, st.integers(1, 8), st.integers(1, 8),
+           st.integers(0, 100))
+    def test_blocks_always_chain(self, gseed, f1, f2, sseed):
+        graph = _graph(gseed)
+        sampler = NeighborSampler(graph, fanouts=(f1, f2), batch_size=64,
+                                  seed=sseed)
+        roots = graph.train_nodes()[:5]
+        batch = sampler.sample(roots)
+        assert np.array_equal(batch.blocks[0].dst_nodes,
+                              batch.blocks[1].src_nodes)
+        assert np.array_equal(batch.blocks[-1].dst_nodes, roots)
+        for block in batch.blocks:
+            assert np.array_equal(block.src_nodes[:block.dst_nodes.size],
+                                  block.dst_nodes)
+
+    @given(GRAPH_SEEDS, st.integers(1, 6), st.integers(0, 100))
+    def test_fanout_bound_holds(self, gseed, fanout, sseed):
+        graph = _graph(gseed)
+        sampler = NeighborSampler(graph, fanouts=(fanout,), batch_size=64,
+                                  seed=sseed)
+        batch = sampler.sample(graph.train_nodes()[:8])
+        block = batch.blocks[0]
+        if block.num_edges:
+            per_dst = np.bincount(block.dst)
+            assert per_dst.max() <= fanout
+
+    @given(GRAPH_SEEDS, st.integers(0, 50))
+    def test_work_is_positive_and_finite(self, gseed, sseed):
+        graph = _graph(gseed)
+        sampler = NeighborSampler(graph, seed=sseed)
+        batch = sampler.sample(graph.train_nodes()[:4])
+        assert batch.work.items > 0
+        assert np.isfinite(batch.work.items)
+        assert np.isfinite(batch.work.fetch_bytes)
+
+
+class TestClusterProperties:
+    @given(GRAPH_SEEDS, st.integers(2, 12), st.integers(1, 4))
+    def test_epoch_touches_each_node_at_most_once(self, gseed, parts, per):
+        if per > parts:
+            return
+        graph = _graph(gseed)
+        sampler = ClusterSampler(graph, num_parts=parts, parts_per_batch=per,
+                                 seed=0)
+        seen = []
+        for batch in sampler.epoch_batches():
+            seen.extend(batch.nodes.tolist())
+        assert len(seen) == len(set(seen))
+
+    @given(GRAPH_SEEDS, st.integers(0, 50))
+    def test_batch_edges_stay_local(self, gseed, sseed):
+        graph = _graph(gseed)
+        sampler = ClusterSampler(graph, seed=sseed)
+        batch = sampler.sample()
+        if batch.num_edges:
+            assert batch.src.max() < batch.num_nodes
+            assert batch.dst.max() < batch.num_nodes
+
+
+class TestWalkProperties:
+    @given(GRAPH_SEEDS, st.integers(0, 4), st.integers(0, 50))
+    def test_walk_rows_are_paths_or_stalls(self, gseed, length, sseed):
+        graph = _graph(gseed)
+        sampler = RandomWalkSampler(graph, num_roots=100, walk_length=length,
+                                    seed=sseed)
+        path = sampler.walk(np.arange(min(20, graph.num_nodes)))
+        assert path.shape[1] == length + 1
+        for row in path:
+            for a, b in zip(row[:-1], row[1:]):
+                assert a == b or b in graph.adj.neighbors(int(a))
+
+    @given(GRAPH_SEEDS, st.integers(0, 50))
+    def test_subgraph_nodes_sorted_unique(self, gseed, sseed):
+        graph = _graph(gseed)
+        batch = RandomWalkSampler(graph, seed=sseed).sample()
+        assert np.array_equal(batch.nodes, np.unique(batch.nodes))

@@ -1,0 +1,69 @@
+"""Tests for report rendering and repeated-run statistics."""
+
+import pytest
+
+from repro.bench.repeats import RepeatedStats, run_repeated
+from repro.hardware.device import KernelCost
+from repro.profiling.kernel_report import format_kernel_table, kernel_breakdown
+
+
+class TestRepeatedStats:
+    def test_moments(self):
+        stats = RepeatedStats((1.0, 2.0, 3.0))
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx((2.0 / 3.0) ** 0.5)
+        assert stats.cov == pytest.approx(stats.std / 2.0)
+
+    def test_constant_series_has_zero_cov(self):
+        stats = RepeatedStats((5.0, 5.0, 5.0))
+        assert stats.std == 0.0
+        assert stats.cov == 0.0
+
+    def test_run_repeated_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_repeated([], framework="dglite", dataset="ppi",
+                         model="graphsage")
+
+    def test_run_repeated_aggregates(self):
+        stats = run_repeated(
+            (0, 1), framework="dglite", dataset="ppi", model="graphsage",
+            placement="cpu", epochs=1, representative_batches=1,
+            dataset_scale=0.3,
+        )
+        assert set(stats) == {"total_time", "sampling", "energy"}
+        assert len(stats["total_time"].values) == 2
+        assert stats["total_time"].mean > 0
+
+    def test_same_seed_zero_variance(self):
+        stats = run_repeated(
+            (3, 3), framework="dglite", dataset="ppi", model="graphsage",
+            placement="cpu", epochs=1, representative_batches=1,
+            dataset_scale=0.3,
+        )
+        assert stats["total_time"].cov == pytest.approx(0.0, abs=1e-9)
+
+
+class TestKernelTable:
+    def test_entries_and_fractions(self, machine):
+        machine.cpu.execute(KernelCost("spmm.fwd", fixed_time=3.0))
+        machine.cpu.execute(KernelCost("matmul", fixed_time=1.0))
+        entries = kernel_breakdown(machine)
+        assert entries[0].kernel == "spmm.fwd"
+        assert entries[0].fraction == pytest.approx(0.75, rel=1e-3)
+        assert sum(e.fraction for e in entries) == pytest.approx(1.0, rel=1e-3)
+
+    def test_top_limits_per_device(self, machine):
+        for i in range(5):
+            machine.cpu.execute(KernelCost(f"k{i}", fixed_time=1.0))
+        assert len(kernel_breakdown(machine, top=2)) == 2
+
+    def test_idle_machine_has_no_entries(self, machine):
+        machine.clock.advance(1.0)
+        assert kernel_breakdown(machine) == []
+
+    def test_format_renders_rows(self, machine):
+        machine.cpu.execute(KernelCost("spmm.fwd", fixed_time=1.0))
+        text = format_kernel_table(kernel_breakdown(machine), title="Lens")
+        assert "Lens" in text
+        assert "spmm.fwd" in text
+        assert "%" in text

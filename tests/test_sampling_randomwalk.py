@@ -1,0 +1,95 @@
+"""Tests for the GraphSAINT random-walk sampler algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplerError
+from repro.sampling.randomwalk import RandomWalkSampler
+
+
+class TestWalk:
+    def test_walk_shape(self, tiny_graph):
+        sampler = RandomWalkSampler(tiny_graph, walk_length=3, seed=0)
+        roots = np.arange(10)
+        path = sampler.walk(roots)
+        assert path.shape == (10, 4)
+        assert np.array_equal(path[:, 0], roots)
+
+    def test_walk_steps_follow_edges(self, tiny_graph):
+        sampler = RandomWalkSampler(tiny_graph, walk_length=2, seed=0)
+        path = sampler.walk(np.arange(20))
+        for row in path:
+            for a, b in zip(row[:-1], row[1:]):
+                if a != b:  # stuck walkers stay in place
+                    assert b in tiny_graph.adj.neighbors(int(a))
+
+    def test_stuck_walker_stays(self):
+        """A degree-0 node cannot move; the walk must not crash."""
+        from repro.graph.formats import AdjacencyCOO
+        from repro.graph.graph import Graph, GraphStats, Split
+        adj = AdjacencyCOO(3, np.array([0]), np.array([1])).to_csr()
+        stats = GraphStats("iso", "d", 3, 1, 2, 2, False, Split(0.6, 0.2, 0.2))
+        graph = Graph(adj, np.zeros((3, 2), dtype=np.float32),
+                      np.zeros(3, dtype=np.int64),
+                      np.array([True, False, False]),
+                      np.array([False, True, False]),
+                      np.array([False, False, True]), stats)
+        sampler = RandomWalkSampler(graph, num_roots=1, walk_length=2, seed=0)
+        path = sampler.walk(np.array([2]))  # node 2 has no out-edges
+        assert np.all(path == 2)
+
+
+class TestSample:
+    def test_roots_scaled_down(self, tiny_graph):
+        sampler = RandomWalkSampler(tiny_graph, num_roots=3000, seed=0)
+        expected = max(2, round(3000 / tiny_graph.node_scale))
+        assert sampler.actual_num_roots == expected
+
+    def test_subgraph_nodes_unique_and_contain_walk(self, tiny_graph):
+        sampler = RandomWalkSampler(tiny_graph, seed=0)
+        batch = sampler.sample()
+        assert len(batch.nodes) == len(np.unique(batch.nodes))
+
+    def test_subgraph_edges_are_induced(self, tiny_graph):
+        sampler = RandomWalkSampler(tiny_graph, seed=0)
+        batch = sampler.sample()
+        for s, d in zip(batch.src[:50], batch.dst[:50]):
+            global_s = batch.nodes[s]
+            global_d = batch.nodes[d]
+            assert global_d in tiny_graph.adj.neighbors(int(global_s))
+
+    def test_explicit_roots(self, tiny_graph):
+        sampler = RandomWalkSampler(tiny_graph, walk_length=0, seed=0)
+        roots = np.array([5, 9, 13])
+        batch = sampler.sample(roots)
+        assert np.array_equal(np.sort(batch.nodes), np.sort(roots))
+
+    def test_empty_roots_rejected(self, tiny_graph):
+        sampler = RandomWalkSampler(tiny_graph, seed=0)
+        with pytest.raises(SamplerError):
+            sampler.sample(np.array([], dtype=np.int64))
+
+    def test_invalid_config_rejected(self, tiny_graph):
+        with pytest.raises(SamplerError):
+            RandomWalkSampler(tiny_graph, num_roots=0)
+        with pytest.raises(SamplerError):
+            RandomWalkSampler(tiny_graph, walk_length=-1)
+
+
+class TestEpoch:
+    def test_num_batches_covers_graph(self, tiny_graph):
+        sampler = RandomWalkSampler(tiny_graph, seed=0)
+        batches = sampler.num_batches()
+        expected_nodes = min(tiny_graph.num_nodes,
+                             sampler.actual_num_roots * 3)
+        assert batches == int(np.ceil(tiny_graph.num_nodes / expected_nodes))
+
+    def test_epoch_yields_num_batches(self, tiny_graph):
+        sampler = RandomWalkSampler(tiny_graph, seed=0)
+        assert len(list(sampler.epoch_batches())) == sampler.num_batches()
+
+    def test_work_positive(self, tiny_graph):
+        sampler = RandomWalkSampler(tiny_graph, seed=0)
+        batch = sampler.sample()
+        assert batch.work.items > 0
+        assert batch.work.fetch_bytes > 0

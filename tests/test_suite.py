@@ -1,0 +1,100 @@
+"""Tests for the declarative experiment suite runner."""
+
+import json
+
+import pytest
+
+from repro.bench.suite import (
+    compare_results,
+    load_results,
+    run_suite,
+    run_suite_file,
+    save_results,
+)
+from repro.errors import BenchmarkError
+
+SMALL_SUITE = [
+    {"kind": "loader", "framework": "dglite", "dataset": "ppi"},
+    {"kind": "sampler", "framework": "dglite", "dataset": "ppi",
+     "sampler": "saint_rw"},
+    {"kind": "conv", "framework": "pyglite", "dataset": "ppi", "conv": "sage"},
+    {"kind": "train", "framework": "dglite", "dataset": "ppi",
+     "model": "graphsage", "epochs": 1, "representative_batches": 1},
+    {"kind": "fullbatch", "framework": "pyglite", "dataset": "ppi",
+     "epochs": 1},
+]
+
+
+class TestRunSuite:
+    def test_runs_every_spec(self):
+        records = run_suite(SMALL_SUITE)
+        assert len(records) == len(SMALL_SUITE)
+        for record, spec in zip(records, SMALL_SUITE):
+            assert record["spec"] == spec
+            assert "label" in record
+
+    def test_train_record_fields(self):
+        record = run_suite(SMALL_SUITE[3:4])[0]
+        assert record["total_time"] > 0
+        assert record["energy"] > 0
+        assert not record["oom"]
+
+    def test_conv_oom_surfaces_in_record(self):
+        record = run_suite([{"kind": "conv", "framework": "pyglite",
+                             "dataset": "reddit", "conv": "gat",
+                             "device": "gpu"}])[0]
+        assert record["oom"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(BenchmarkError):
+            run_suite([{"kind": "quantum"}])
+
+    def test_non_dict_spec_rejected(self):
+        with pytest.raises(BenchmarkError):
+            run_suite(["train"])
+
+    def test_deterministic_across_runs(self):
+        a = run_suite(SMALL_SUITE[:2])
+        b = run_suite(SMALL_SUITE[:2])
+        assert compare_results(a, b, tolerance=1e-9) == []
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        records = run_suite(SMALL_SUITE[:2])
+        path = save_results(records, tmp_path / "out" / "results.json")
+        assert load_results(path) == json.loads(json.dumps(records))
+
+    def test_run_suite_file(self, tmp_path):
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(SMALL_SUITE[:1]))
+        records = run_suite_file(path)
+        assert len(records) == 1
+
+    def test_suite_file_must_be_list(self, tmp_path):
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps({"kind": "loader"}))
+        with pytest.raises(BenchmarkError):
+            run_suite_file(path)
+
+
+class TestCompare:
+    def test_detects_drift(self):
+        old = [{"label": "x", "seconds": 1.0}]
+        new = [{"label": "x", "seconds": 1.2}]
+        problems = compare_results(old, new, tolerance=0.1)
+        assert len(problems) == 1
+        assert "seconds" in problems[0]
+
+    def test_within_tolerance_is_clean(self):
+        old = [{"label": "x", "seconds": 1.0}]
+        new = [{"label": "x", "seconds": 1.04}]
+        assert compare_results(old, new, tolerance=0.05) == []
+
+    def test_count_mismatch(self):
+        assert compare_results([], [{"label": "x"}])
+
+    def test_missing_field_reported(self):
+        old = [{"label": "x", "seconds": 1.0}]
+        new = [{"label": "x"}]
+        assert "missing" in compare_results(old, new)[0]

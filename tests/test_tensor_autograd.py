@@ -1,0 +1,193 @@
+"""Gradient checks: every tensor op against central finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, cat
+
+RNG = np.random.default_rng(42)
+EPS = 1e-2
+TOL = 2e-2
+
+
+def gradcheck(build, *shapes, positive=False):
+    """Check d(sum of op output)/d(input_i) against finite differences."""
+    arrays = []
+    for shape in shapes:
+        arr = RNG.random(shape).astype(np.float32) + (0.5 if positive else -0.5)
+        arrays.append(arr)
+
+    def run(arrs):
+        tensors = [Tensor(a.copy(), requires_grad=True) for a in arrs]
+        out = build(*tensors)
+        return tensors, out
+
+    tensors, out = run(arrays)
+    loss = out.sum() if out.data.size > 1 else out
+    loss.backward()
+
+    for i, arr in enumerate(arrays):
+        flat_index = np.unravel_index(RNG.integers(arr.size), arr.shape)
+        perturbed = [a.copy() for a in arrays]
+        perturbed[i][flat_index] += EPS
+        _, up = run(perturbed)
+        perturbed[i][flat_index] -= 2 * EPS
+        _, down = run(perturbed)
+        fd = (float(up.data.sum()) - float(down.data.sum())) / (2 * EPS)
+        ag = float(tensors[i].grad[flat_index])
+        assert ag == pytest.approx(fd, abs=TOL, rel=TOL), f"input {i} of {build}"
+
+
+class TestArithmeticGrads:
+    def test_add(self):
+        gradcheck(lambda a, b: a + b, (3, 4), (3, 4))
+
+    def test_add_broadcast(self):
+        gradcheck(lambda a, b: a + b, (3, 4), (4,))
+
+    def test_mul(self):
+        gradcheck(lambda a, b: a * b, (3, 4), (3, 4))
+
+    def test_mul_broadcast(self):
+        gradcheck(lambda a, b: a * b, (3, 4), (3, 1))
+
+    def test_div(self):
+        gradcheck(lambda a, b: a / b, (3, 3), (3, 3), positive=True)
+
+    def test_pow(self):
+        gradcheck(lambda a: a ** 3, (4,))
+
+    def test_matmul(self):
+        gradcheck(lambda a, b: a @ b, (3, 4), (4, 2))
+
+    def test_sub_rsub(self):
+        gradcheck(lambda a: 1.0 - a, (5,))
+
+
+class TestShapeGrads:
+    def test_reshape(self):
+        gradcheck(lambda a: (a.reshape(2, 6) * 2).sum(), (3, 4))
+
+    def test_transpose(self):
+        gradcheck(lambda a: (a.T @ a), (3, 4))
+
+    def test_index_select(self):
+        idx = np.array([0, 2, 2, 1])
+        gradcheck(lambda a: a.index_select(idx) * 3, (4, 3))
+
+    def test_slice(self):
+        gradcheck(lambda a: a[1:3] * 2, (5, 2))
+
+    def test_cat(self):
+        gradcheck(lambda a, b: cat([a * 2, b * 3], axis=0), (2, 3), (4, 3))
+
+
+class TestReductionGrads:
+    def test_sum_all(self):
+        gradcheck(lambda a: a.sum(), (3, 4))
+
+    def test_sum_axis(self):
+        gradcheck(lambda a: a.sum(axis=1) ** 2, (3, 4))
+
+    def test_mean(self):
+        gradcheck(lambda a: a.mean(axis=0) ** 2, (5, 2))
+
+    def test_max(self):
+        # distinct values so argmax is stable under perturbation
+        arr = np.arange(12, dtype=np.float32).reshape(3, 4)
+        x = Tensor(arr, requires_grad=True)
+        x.max(axis=0).sum().backward()
+        expected = np.zeros((3, 4), dtype=np.float32)
+        expected[2, :] = 1.0
+        assert np.allclose(x.grad, expected)
+
+
+class TestFunctionalGrads:
+    def test_relu(self):
+        gradcheck(lambda a: F.relu(a), (4, 4))
+
+    def test_leaky_relu(self):
+        gradcheck(lambda a: F.leaky_relu(a, 0.1), (4, 4))
+
+    def test_elu(self):
+        gradcheck(lambda a: F.elu(a), (4, 4))
+
+    def test_sigmoid(self):
+        gradcheck(lambda a: F.sigmoid(a), (4, 4))
+
+    def test_tanh(self):
+        gradcheck(lambda a: F.tanh(a), (4, 4))
+
+    def test_exp_log(self):
+        gradcheck(lambda a: a.exp(), (3, 3))
+        gradcheck(lambda a: a.log(), (3, 3), positive=True)
+
+    def test_softmax(self):
+        gradcheck(lambda a: F.softmax(a) ** 2, (3, 5))
+
+    def test_log_softmax(self):
+        gradcheck(lambda a: F.log_softmax(a) * 0.5, (3, 5))
+
+    def test_cross_entropy(self):
+        labels = np.array([0, 2, 1])
+        gradcheck(lambda a: F.cross_entropy(a, labels), (3, 4))
+
+    def test_bce_with_logits(self):
+        targets = (RNG.random((3, 4)) > 0.5).astype(np.float32)
+        gradcheck(lambda a: F.binary_cross_entropy_with_logits(a, targets), (3, 4))
+
+
+class TestDropout:
+    def test_identity_when_eval(self):
+        x = Tensor(np.ones((4, 4), dtype=np.float32), requires_grad=True)
+        out = F.dropout(x, p=0.5, training=False)
+        assert out is x
+
+    def test_identity_when_p_zero(self):
+        x = Tensor(np.ones((4, 4), dtype=np.float32))
+        assert F.dropout(x, p=0.0, training=True) is x
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200), dtype=np.float32))
+        out = F.dropout(x, p=0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_gradient_uses_same_mask(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((10, 10), dtype=np.float32), requires_grad=True)
+        out = F.dropout(x, p=0.5, training=True, rng=rng)
+        out.sum().backward()
+        # gradient is the mask itself: zero where dropped, 2.0 where kept
+        assert set(np.unique(x.grad)) <= {0.0, 2.0}
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3, dtype=np.float32)), p=1.0)
+
+
+class TestLossValidation:
+    def test_cross_entropy_label_shape_checked(self):
+        logits = Tensor(np.zeros((3, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, np.zeros((3, 4)))
+
+    def test_bce_shape_checked(self):
+        logits = Tensor(np.zeros((3, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            F.binary_cross_entropy_with_logits(logits, np.zeros((3, 2)))
+
+    def test_cross_entropy_value_matches_manual(self):
+        logits = Tensor(np.log(np.array([[0.25, 0.75], [0.5, 0.5]], dtype=np.float32)))
+        loss = F.cross_entropy(logits, np.array([1, 0]))
+        expected = -(np.log(0.75) + np.log(0.5)) / 2
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_accuracy_and_f1(self):
+        logits = Tensor(np.array([[2.0, 1.0], [0.0, 3.0]], dtype=np.float32))
+        assert F.accuracy(logits, np.array([0, 1])) == 1.0
+        assert F.accuracy(logits, np.array([1, 1])) == 0.5
+        ml_logits = Tensor(np.array([[1.0, -1.0]], dtype=np.float32))
+        assert F.micro_f1(ml_logits, np.array([[1.0, 0.0]])) == 1.0
+        assert 0.0 <= F.micro_f1(ml_logits, np.array([[0.0, 1.0]])) < 1.0
