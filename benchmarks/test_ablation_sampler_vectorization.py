@@ -1,0 +1,171 @@
+"""Ablation: vectorized sampling engine vs. the per-seed reference loop.
+
+The reproduction charges framework-level sampler cost through
+:mod:`repro.frameworks.profiles` (DGL native vs PyG Python rates,
+Observation 2), so our own sampling implementation must be fast enough
+not to contaminate wall-clock measurements.  This bench times the original
+per-seed Python loop (kept below as the reference) against the shared
+vectorized engine on a synthetic power-law graph, and checks that the two
+draw from identical distributions under a pinned seed.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import emit
+
+from repro.graph.formats import INDEX_DTYPE
+from repro.sampling.neighbor import sample_block_neighbors
+from repro.sampling.relabel import block_locals
+
+NUM_NODES = 100_000
+BATCH_SIZE = 512
+NUM_BATCHES = 20
+FANOUT = 10
+MIN_SPEEDUP = 5.0
+
+
+def reference_sample_block_neighbors(indptr, indices, seeds, fanout, rng):
+    """The pre-vectorization implementation, verbatim: one Python iteration
+    and one ``rng.choice`` per seed."""
+    srcs, dsts, examined = [], [], 0
+    for seed in seeds:
+        lo, hi = indptr[seed], indptr[seed + 1]
+        degree = int(hi - lo)
+        if degree == 0:
+            continue
+        examined += degree
+        neighborhood = indices[lo:hi]
+        if degree <= fanout:
+            chosen = neighborhood
+        else:
+            chosen = neighborhood[rng.choice(degree, size=fanout, replace=False)]
+        srcs.append(chosen)
+        dsts.append(np.full(chosen.size, seed, dtype=INDEX_DTYPE))
+    if srcs:
+        return np.concatenate(srcs), np.concatenate(dsts), examined
+    empty = np.empty(0, dtype=INDEX_DTYPE)
+    return empty, empty, examined
+
+
+def reference_block_locals(src_g, dst_g, dst_nodes):
+    """The pre-vectorization relabel: a Python dict + ``np.fromiter``."""
+    extra = np.setdiff1d(np.unique(src_g), dst_nodes, assume_unique=False)
+    src_nodes = np.concatenate([dst_nodes, extra])
+    lookup = {int(n): i for i, n in enumerate(src_nodes)}
+    src_local = np.fromiter((lookup[int(s)] for s in src_g),
+                            count=src_g.size, dtype=INDEX_DTYPE)
+    dst_local = np.fromiter((lookup[int(d)] for d in dst_g),
+                            count=dst_g.size, dtype=INDEX_DTYPE)
+    return src_nodes, src_local, dst_local
+
+
+def powerlaw_csr(num_nodes, seed):
+    """CSR with shifted zipf out-degrees and duplicate-free neighbor lists
+    (each row is a contiguous id range starting at a random base).  The
+    degree shift keeps every degree above the fanout — as in the paper's
+    datasets (e.g. Reddit's average degree 492 vs fanouts 25/10), it is the
+    subsampling path that dominates sampler runtime."""
+    rng = np.random.default_rng(seed)
+    degrees = np.minimum(rng.zipf(1.5, size=num_nodes) + 15, 512).astype(INDEX_DTYPE)
+    indptr = np.zeros(num_nodes + 1, dtype=INDEX_DTYPE)
+    indptr[1:] = np.cumsum(degrees)
+    bases = rng.integers(0, num_nodes, size=num_nodes)
+    offsets = (np.arange(int(degrees.sum()), dtype=INDEX_DTYPE)
+               - np.repeat(indptr[:-1], degrees))
+    indices = (np.repeat(bases, degrees) + offsets) % num_nodes
+    return indptr, indices
+
+
+def _run():
+    indptr, indices = powerlaw_csr(NUM_NODES, seed=0)
+    batch_rng = np.random.default_rng(1)
+    batches = [batch_rng.choice(NUM_NODES, size=BATCH_SIZE, replace=False)
+               for _ in range(NUM_BATCHES)]
+
+    # --- wall clock: full per-batch pipeline (sample + relabel) ---
+    def run_old():
+        rng = np.random.default_rng(2)
+        for seeds in batches:
+            src, dst, _ = reference_sample_block_neighbors(
+                indptr, indices, seeds, FANOUT, rng)
+            reference_block_locals(src, dst, seeds)
+
+    def run_new():
+        rng = np.random.default_rng(2)
+        for seeds in batches:
+            src, dst, _ = sample_block_neighbors(
+                indptr, indices, seeds, FANOUT, rng)
+            block_locals(src, dst, seeds)
+
+    def best_of(fn, repeats=7):
+        # Best-of-N wall clock: scheduler noise on shared runners only
+        # ever inflates a measurement, so the minimum is the estimate.
+        fn()  # warm-up
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    old_s = best_of(run_old)
+    new_s = best_of(run_new)
+
+    # --- distribution equivalence under a pinned seed ---
+    seeds = batches[0]
+    new = sample_block_neighbors(indptr, indices, seeds, FANOUT,
+                                 np.random.default_rng(3))
+    ref = reference_sample_block_neighbors(indptr, indices, seeds, FANOUT,
+                                           np.random.default_rng(3))
+    assert np.array_equal(new[1], ref[1]), "dst arrays must be identical"
+    assert new[2] == ref[2], "examined counts must be identical"
+    for seed in seeds:
+        mine = new[0][new[1] == seed]
+        hood = indices[indptr[seed]:indptr[seed + 1]]
+        assert mine.size == min(hood.size, FANOUT)
+        assert mine.size == np.unique(mine).size
+        assert np.isin(mine, hood).all()
+
+    # Marginal keep-frequency on the highest-degree node: each neighbor
+    # should appear with probability FANOUT / degree.
+    hub = int(np.argmax(np.diff(indptr)))
+    degree = int(indptr[hub + 1] - indptr[hub])
+    trials = 4000
+    src, _, _ = sample_block_neighbors(
+        indptr, indices, np.full(trials, hub), FANOUT,
+        np.random.default_rng(4))
+    hood = indices[indptr[hub]:indptr[hub + 1]]
+    freq = np.bincount(src, minlength=NUM_NODES)[hood] / trials
+    expected = FANOUT / degree
+    max_err = float(np.abs(freq - expected).max())
+
+    return {
+        "old_ms_per_batch": 1000.0 * old_s / NUM_BATCHES,
+        "new_ms_per_batch": 1000.0 * new_s / NUM_BATCHES,
+        "speedup": old_s / new_s,
+        "hub_degree": degree,
+        "freq_max_abs_err": max_err,
+    }
+
+
+def test_ablation_sampler_vectorization(once):
+    row = once(_run)
+
+    lines = [
+        f"Ablation: vectorized sampler vs per-seed loop "
+        f"({NUM_NODES:,} nodes, batch {BATCH_SIZE}, fanout {FANOUT}, "
+        f"{NUM_BATCHES} batches)",
+        f"  per-seed loop   {row['old_ms_per_batch']:>9.2f} ms/batch",
+        f"  vectorized      {row['new_ms_per_batch']:>9.2f} ms/batch",
+        f"  speedup         {row['speedup']:>9.1f}x",
+        f"  hub marginal |freq - fanout/degree| <= "
+        f"{row['freq_max_abs_err']:.4f} (degree {row['hub_degree']})",
+    ]
+    emit("ablation_sampler_vectorization", "\n".join(lines))
+
+    assert row["speedup"] >= MIN_SPEEDUP
+    # Uniform without-replacement marginals: every neighbor of the hub is
+    # kept with probability fanout/degree (binomial noise at 4000 trials).
+    assert row["freq_max_abs_err"] < 0.05

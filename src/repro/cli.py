@@ -56,6 +56,8 @@ def build_parser() -> argparse.ArgumentParser:
     samplers.add_argument("--dataset", type=_dataset_args, default=["flickr"])
     samplers.add_argument("--sampler", choices=("neighbor", "cluster", "saint_rw"),
                           default="neighbor")
+    samplers.add_argument("--seed", type=int, default=0,
+                          help="sampler RNG seed (default 0, deterministic)")
 
     conv = sub.add_parser("conv", help="Figure 5: conv-layer forward runtime")
     conv.add_argument("--dataset", type=_dataset_args, default=["flickr"])
@@ -79,12 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--cache-fraction", type=float, default=0.0)
     train.add_argument("--workers", type=int, default=0,
                        help="parallel sampling workers (0 = inline)")
+    train.add_argument("--seed", type=int, default=0,
+                       help="sampler/model RNG seed (default 0, deterministic)")
 
     fullbatch = sub.add_parser("fullbatch", help="Figures 22-24: full-batch SAGE")
     fullbatch.add_argument("--framework", choices=FRAMEWORKS, default="dglite")
     fullbatch.add_argument("--dataset", type=_dataset_args, default=["ppi"])
     fullbatch.add_argument("--device", choices=("cpu", "gpu"), default="cpu")
     fullbatch.add_argument("--epochs", type=int, default=3)
+    fullbatch.add_argument("--seed", type=int, default=0,
+                           help="model RNG seed (default 0, deterministic)")
 
     sub.add_parser("observations",
                    help="run the eight-observation reproduction checklist")
@@ -126,12 +132,12 @@ def cmd_loader(datasets: List[str]) -> None:
         print(f"{ds:<15}{cells}")
 
 
-def cmd_samplers(datasets: List[str], sampler: str) -> None:
+def cmd_samplers(datasets: List[str], sampler: str, seed: int = 0) -> None:
     print(f"sampler = {sampler}")
     print(f"{'dataset':<15}{'DGLite':>12}{'PyGLite':>12}{'ratio':>8}")
     for ds in datasets:
-        dgl = measure_sampler_epoch("dglite", ds, sampler)["epoch"]
-        pyg = measure_sampler_epoch("pyglite", ds, sampler)["epoch"]
+        dgl = measure_sampler_epoch("dglite", ds, sampler, seed=seed)["epoch"]
+        pyg = measure_sampler_epoch("pyglite", ds, sampler, seed=seed)["epoch"]
         print(f"{ds:<15}{dgl:>11.3f}s{pyg:>11.3f}s{pyg / dgl:>7.1f}x")
 
 
@@ -154,6 +160,7 @@ def cmd_train(args: argparse.Namespace) -> None:
             preload=args.preload, prefetch=args.prefetch, epochs=args.epochs,
             feature_cache_fraction=args.cache_fraction,
             num_workers=args.workers,
+            seed=args.seed,
         )
         print(f"\n{result.label} / {args.model} / {ds} "
               f"({args.epochs} epochs, {result.batches_per_epoch} batches/epoch)")
@@ -170,7 +177,8 @@ def cmd_fullbatch(args: argparse.Namespace) -> None:
     for ds in args.dataset:
         result = run_fullbatch_experiment(args.framework, ds,
                                           device=args.device,
-                                          epochs=args.epochs)
+                                          epochs=args.epochs,
+                                          seed=args.seed)
         if result.oom:
             print(f"{result.label} / {ds}: OOM ({result.error})")
             continue
@@ -237,7 +245,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "loader":
         cmd_loader(args.dataset)
     elif args.command == "samplers":
-        cmd_samplers(args.dataset, args.sampler)
+        cmd_samplers(args.dataset, args.sampler, seed=args.seed)
     elif args.command == "conv":
         cmd_conv(args.dataset, args.kind, args.device)
     elif args.command == "train":

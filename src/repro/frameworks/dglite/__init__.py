@@ -6,7 +6,11 @@ Design choices mirrored from DGL v0.8.2:
   invoke fused ``update_all``-style kernels (g-SpMM / g-SDDMM) for *every*
   conv layer — no per-edge feature materialization anywhere;
 * samplers run at native C++/OpenMP rates, with GPU-based and UVA-based
-  neighborhood sampling available for GraphSAGE;
+  neighborhood sampling available for GraphSAGE.  The shared vectorized
+  sampling engine (:mod:`repro.sampling.relabel`) executes the actual
+  draws; DGL's native-rate advantage is charged via
+  :data:`~repro.frameworks.profiles.DGLITE_PROFILE` sampler costs, not by
+  running slower Python on our side;
 * heavier graph-object construction (the DGLGraph abstraction) and higher
   per-op dispatch overhead than PyGLite.
 """

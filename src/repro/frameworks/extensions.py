@@ -115,8 +115,12 @@ EXTENSION_SAMPLERS = {
 
 
 def make_extension_sampler(framework: Framework, fgraph: FrameworkGraph,
-                           kind: str, seed: Optional[int] = None, **kwargs):
-    """Build one of the extension samplers by name."""
+                           kind: str, seed: Optional[int] = 0, **kwargs):
+    """Build one of the extension samplers by name.
+
+    ``seed`` defaults to 0 (deterministic); pass ``None`` for a
+    nondeterministic RNG.
+    """
     if kind not in EXTENSION_SAMPLERS:
         raise KeyError(
             f"unknown extension sampler {kind!r}; "

@@ -73,15 +73,29 @@ class GpuFeatureCache:
         return int(self.cached_nodes.size)
 
     def hit_mask(self, nodes: np.ndarray) -> np.ndarray:
-        """Boolean mask of which requested nodes are cache hits."""
+        """Boolean mask of which requested nodes are cache hits.
+
+        Pure query — does not touch the hit/miss statistics, so callers
+        may probe the same batch repeatedly without skewing
+        :meth:`hit_rate`.  Use :meth:`record` on the one lookup that
+        actually services a batch.
+        """
         nodes = np.asarray(nodes, dtype=INDEX_DTYPE)
-        mask = self._is_cached[nodes]
-        self.hits += int(mask.sum())
-        self.misses += int(nodes.size - mask.sum())
+        return self._is_cached[nodes]
+
+    def record(self, nodes: np.ndarray) -> np.ndarray:
+        """Account one serviced batch: update hit/miss counters.
+
+        Returns the same mask as :meth:`hit_mask` for convenience.
+        """
+        mask = self.hit_mask(nodes)
+        hits = int(mask.sum())
+        self.hits += hits
+        self.misses += int(mask.size - hits)
         return mask
 
     def hit_rate(self) -> float:
-        """Observed hit fraction over all lookups so far."""
+        """Observed hit fraction over all recorded lookups so far."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 

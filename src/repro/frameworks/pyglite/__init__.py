@@ -10,7 +10,11 @@ Design choices mirrored from PyG v2.0.4:
   materializes per-edge message buffers and OOMs on large graphs
   (Observation 3);
 * Python-rate samplers that require a one-time CSR -> CSC conversion
-  (Observation 2); no GPU/UVA sampling support.
+  (Observation 2); no GPU/UVA sampling support.  The same shared
+  vectorized engine (:mod:`repro.sampling.relabel`) runs the draws for
+  both frameworks; PyG's Python-rate penalty is charged via
+  :data:`~repro.frameworks.profiles.PYGLITE_PROFILE` sampler costs so the
+  modeled gap stays independent of our own implementation speed.
 """
 
 from repro.frameworks.base import Framework

@@ -165,20 +165,62 @@ class AdjacencyCSC:
         return AdjacencyCOO(self.num_nodes, self.indices, dst)
 
 
+def flat_positions(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``[starts[i], starts[i] + lengths[i])`` ranges.
+
+    The offset-arithmetic core of every vectorized CSR gather: equivalent
+    to ``np.concatenate([np.arange(s, s + l) for s, l in zip(starts,
+    lengths)])`` without the Python loop.
+    """
+    lengths = np.asarray(lengths, dtype=INDEX_DTYPE)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    starts = np.asarray(starts, dtype=INDEX_DTYPE)
+    segment_starts = np.cumsum(lengths) - lengths
+    return (np.repeat(starts - segment_starts, lengths)
+            + np.arange(total, dtype=INDEX_DTYPE))
+
+
+def gather_neighborhoods(
+    indptr: np.ndarray, indices: np.ndarray, nodes: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather the CSR neighbor lists of every node in ``nodes`` at once.
+
+    Returns ``(neighbors, degrees, positions)`` where ``neighbors`` is the
+    concatenation of each node's neighbor list (in ``nodes`` order),
+    ``degrees`` the per-node counts, and ``positions`` the CSR edge
+    positions each gathered neighbor came from (for edge-id tracking).
+    """
+    nodes = np.asarray(nodes, dtype=INDEX_DTYPE)
+    starts = indptr[nodes]
+    degrees = (indptr[nodes + 1] - starts).astype(INDEX_DTYPE, copy=False)
+    positions = flat_positions(starts, degrees)
+    return indices[positions], degrees, positions
+
+
 def induced_subgraph(csr: AdjacencyCSR, nodes: np.ndarray) -> Tuple[AdjacencyCOO, np.ndarray]:
     """Node-induced subgraph with relabelled node ids.
 
     Returns the subgraph edge list (in local ids, ordered by the position
-    of each node in ``nodes``) and the original edge ids kept.
+    of each node in ``nodes``) and the original edge ids kept.  ``nodes``
+    must be duplicate-free.
+
+    Only the selected rows are touched: the members' neighbor lists are
+    gathered in one vectorized pass and filtered by a membership lookup,
+    so the cost is O(incident edges of ``nodes``), not O(all edges).
     """
     nodes = _as_index(nodes)
     mapping = np.full(csr.num_nodes, -1, dtype=INDEX_DTYPE)
     mapping[nodes] = np.arange(nodes.size, dtype=INDEX_DTYPE)
-    coo = csr.to_coo()
-    keep = (mapping[coo.src] >= 0) & (mapping[coo.dst] >= 0)
-    kept_ids = np.nonzero(keep)[0]
-    sub = AdjacencyCOO(nodes.size, mapping[coo.src[keep]], mapping[coo.dst[keep]])
-    return sub, kept_ids
+    neighbors, degrees, positions = gather_neighborhoods(
+        csr.indptr, csr.indices, nodes
+    )
+    local_dst = mapping[neighbors]
+    keep = local_dst >= 0
+    local_src = np.repeat(np.arange(nodes.size, dtype=INDEX_DTYPE), degrees)
+    sub = AdjacencyCOO(nodes.size, local_src[keep], local_dst[keep])
+    return sub, positions[keep]
 
 
 def remove_self_loops(coo: AdjacencyCOO) -> AdjacencyCOO:

@@ -38,8 +38,12 @@ def build_clustergcn(framework: Framework, fgraph: FrameworkGraph,
 def clustergcn_sampler(framework: Framework, fgraph: FrameworkGraph,
                        num_parts: int = NUM_PARTS,
                        parts_per_batch: int = PARTS_PER_BATCH,
-                       seed: Optional[int] = None):
-    """The paper's cluster sampler configuration (2000 parts, 50/batch)."""
+                       seed: Optional[int] = 0):
+    """The paper's cluster sampler configuration (2000 parts, 50/batch).
+
+    ``seed`` defaults to 0 (deterministic); pass ``None`` for a
+    nondeterministic RNG.
+    """
     return framework.cluster_sampler(
         fgraph, num_parts=num_parts, parts_per_batch=parts_per_batch, seed=seed
     )

@@ -38,8 +38,12 @@ def build_graphsage(framework: Framework, fgraph: FrameworkGraph,
 
 def graphsage_sampler(framework: Framework, fgraph: FrameworkGraph,
                       mode: str = "cpu", fanouts: Tuple[int, ...] = FANOUTS,
-                      batch_size: int = BATCH_SIZE, seed: Optional[int] = None):
-    """The paper's neighborhood sampler configuration (25/10, batch 512)."""
+                      batch_size: int = BATCH_SIZE, seed: Optional[int] = 0):
+    """The paper's neighborhood sampler configuration (25/10, batch 512).
+
+    ``seed`` defaults to 0 (deterministic); pass ``None`` for a
+    nondeterministic RNG.
+    """
     return framework.neighbor_sampler(
         fgraph, fanouts=fanouts, batch_size=batch_size, mode=mode, seed=seed
     )

@@ -37,8 +37,12 @@ def build_graphsaint(framework: Framework, fgraph: FrameworkGraph,
 
 def graphsaint_sampler(framework: Framework, fgraph: FrameworkGraph,
                        num_roots: int = NUM_ROOTS, walk_length: int = WALK_LENGTH,
-                       seed: Optional[int] = None):
-    """The paper's random-walk sampler configuration (3000 roots x 2 steps)."""
+                       seed: Optional[int] = 0):
+    """The paper's random-walk sampler configuration (3000 roots x 2 steps).
+
+    ``seed`` defaults to 0 (deterministic); pass ``None`` for a
+    nondeterministic RNG.
+    """
     return framework.saint_sampler(
         fgraph, num_roots=num_roots, walk_length=walk_length, seed=seed
     )

@@ -175,7 +175,7 @@ class MiniBatchTrainer:
         """Move only cache-miss feature rows; gather hits on the GPU."""
         from repro.hardware.device import KernelCost
 
-        mask = self.feature_cache.hit_mask(batch.input_nodes)
+        mask = self.feature_cache.record(batch.input_nodes)
         hit_fraction = float(mask.mean()) if mask.size else 0.0
         miss_bytes = batch.x.logical_nbytes * (1.0 - hit_fraction)
         hit_bytes = batch.x.logical_nbytes * hit_fraction

@@ -13,9 +13,21 @@ Each algorithm returns both the sampled index structures *and* a
 :class:`~repro.sampling.base.SampleWork` record of items processed, which
 the framework wrappers convert into charged time using their per-item
 costs (DGL: C++/OpenMP rates; PyG: Python rates — Observation 2).
+
+All samplers are vectorized (no per-seed Python loops, no per-element
+dict relabeling — see :mod:`repro.sampling.relabel`), so the native-vs-
+Python cost difference stays a *modeled* quantity in
+:mod:`repro.frameworks.profiles` rather than an accident of our own
+implementation overhead.
 """
 
 from repro.sampling.base import SampleWork, BlockSample, SubgraphSample
+from repro.sampling.relabel import (
+    block_locals,
+    gather_neighborhoods,
+    relabel,
+    unique_with_seeds,
+)
 from repro.sampling.neighbor import NeighborSampler
 from repro.sampling.cluster import ClusterSampler
 from repro.sampling.randomwalk import RandomWalkSampler
@@ -33,4 +45,8 @@ __all__ = [
     "SaintNodeSampler",
     "SampleWork",
     "SubgraphSample",
+    "block_locals",
+    "gather_neighborhoods",
+    "relabel",
+    "unique_with_seeds",
 ]

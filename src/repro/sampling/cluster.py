@@ -20,7 +20,15 @@ from repro.sampling.base import SampleWork, SubgraphSample
 
 
 class ClusterSampler:
-    """Partition once, then yield random cluster-union subgraphs."""
+    """Partition once, then yield random cluster-union subgraphs.
+
+    Batch assembly is fully vectorized: cluster membership is a single
+    ``np.isin`` over the assignment array, and the subgraph induction goes
+    through :func:`~repro.graph.formats.induced_subgraph`, which gathers
+    only the selected rows' CSR slices (O(incident edges), not O(all
+    edges)).  ``seed=None`` leaves the RNG nondeterministic; the framework
+    wrappers default to ``seed=0``.
+    """
 
     #: Fraction of edges METIS keeps inside clusters at paper scale.  The
     #: scaled-down partition has tiny clusters that retain almost nothing,

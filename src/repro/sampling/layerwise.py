@@ -9,6 +9,12 @@ additional computational cost and non-negligible overhead in the sampling
 process".  Both are implemented here so the ablation bench can quantify
 that trade-off against GraphSAGE's node-wise sampler.
 
+Both samplers are vectorized: the frontier's neighbor lists are gathered
+in one :func:`~repro.sampling.relabel.gather_neighborhoods` pass, kept
+edges come from a single ``np.isin`` membership test, and block
+relabeling goes through :func:`~repro.sampling.relabel.block_locals` —
+no per-frontier-node Python loops.
+
 Both produce :class:`~repro.sampling.base.BlockSample` mini-batches
 (bipartite blocks, output-side roots), directly consumable by
 :class:`~repro.models.base.BlockNet`.
@@ -24,20 +30,30 @@ from repro.errors import SamplerError
 from repro.graph.formats import INDEX_DTYPE
 from repro.graph.graph import Graph
 from repro.sampling.base import Block, BlockSample, SampleWork
+from repro.sampling.relabel import block_locals, gather_neighborhoods
 
 
 def _block_from_edges(src_global, dst_global, dst_nodes):
     """Assemble a Block with dst-prefix node layout from global edges."""
-    extra = np.setdiff1d(np.unique(src_global), dst_nodes)
-    src_nodes = np.concatenate([dst_nodes, extra])
-    lookup = {int(n): i for i, n in enumerate(src_nodes)}
-    src_local = np.fromiter((lookup[int(s)] for s in src_global),
-                            count=src_global.size, dtype=INDEX_DTYPE)
-    dst_lookup = {int(n): i for i, n in enumerate(dst_nodes)}
-    dst_local = np.fromiter((dst_lookup[int(d)] for d in dst_global),
-                            count=dst_global.size, dtype=INDEX_DTYPE)
+    src_nodes, src_local, dst_local = block_locals(
+        src_global, dst_global, dst_nodes
+    )
     return src_nodes, Block(src_nodes=src_nodes, dst_nodes=dst_nodes,
                             src=src_local, dst=dst_local)
+
+
+def _frontier_edges_into(indptr, indices, frontier, keep_set):
+    """Edges (src in ``keep_set``, dst in ``frontier``), one vectorized pass.
+
+    Returns ``(src_global, dst_global, kept_per_frontier_node,
+    edges_scanned)``.
+    """
+    neighbors, degrees, _ = gather_neighborhoods(indptr, indices, frontier)
+    owners = np.repeat(frontier, degrees)
+    kept = np.isin(neighbors, keep_set)
+    segment = np.repeat(np.arange(frontier.size), degrees)
+    kept_per_node = np.bincount(segment[kept], minlength=frontier.size)
+    return neighbors[kept], owners[kept], kept_per_node, int(neighbors.size)
 
 
 class FastGCNSampler:
@@ -84,19 +100,12 @@ class FastGCNSampler:
             candidates = np.unique(
                 self.rng.choice(self.graph.num_nodes, size=size, p=self._probs)
             )
-            srcs, dsts = [], []
-            for node in frontier:
-                neigh = self._indices[self._indptr[node]:self._indptr[node + 1]]
-                kept = neigh[np.isin(neigh, candidates)]
-                work.items += neigh.size * node_scale  # membership tests
-                if kept.size == 0:
-                    isolated += 1
-                    continue
-                srcs.append(kept)
-                dsts.append(np.full(kept.size, node, dtype=INDEX_DTYPE))
+            src_g, dst_g, kept_per_node, scanned = _frontier_edges_into(
+                self._indptr, self._indices, frontier, candidates
+            )
+            work.items += scanned * node_scale  # membership tests
+            isolated += int((kept_per_node == 0).sum())
             total_frontier += frontier.size
-            src_g = np.concatenate(srcs) if srcs else np.empty(0, dtype=INDEX_DTYPE)
-            dst_g = np.concatenate(dsts) if dsts else np.empty(0, dtype=INDEX_DTYPE)
             src_nodes, block = _block_from_edges(src_g, dst_g, frontier)
             block.edge_scale = node_scale
             block.node_scale = node_scale
@@ -151,11 +160,9 @@ class LadiesSampler:
 
     def _frontier_distribution(self, frontier: np.ndarray):
         """Importance over the union of the frontier's in-neighborhoods."""
-        neigh_lists = [
-            self._indices[self._indptr[n]:self._indptr[n + 1]] for n in frontier
-        ]
-        all_neigh = (np.concatenate(neigh_lists) if neigh_lists
-                     else np.empty(0, dtype=INDEX_DTYPE))
+        all_neigh, _, _ = gather_neighborhoods(
+            self._indptr, self._indices, frontier
+        )
         if all_neigh.size == 0:
             return frontier, np.ones(frontier.size) / frontier.size, 0
         candidates, counts = np.unique(all_neigh, return_counts=True)
@@ -180,16 +187,10 @@ class LadiesSampler:
             chosen = np.unique(
                 self.rng.choice(candidates, size=draw, p=probs, replace=True)
             )
-            srcs, dsts = [], []
-            for node in frontier:
-                neigh = self._indices[self._indptr[node]:self._indptr[node + 1]]
-                kept = neigh[np.isin(neigh, chosen)]
-                work.items += neigh.size * node_scale
-                if kept.size:
-                    srcs.append(kept)
-                    dsts.append(np.full(kept.size, node, dtype=INDEX_DTYPE))
-            src_g = np.concatenate(srcs) if srcs else np.empty(0, dtype=INDEX_DTYPE)
-            dst_g = np.concatenate(dsts) if dsts else np.empty(0, dtype=INDEX_DTYPE)
+            src_g, dst_g, _, scanned = _frontier_edges_into(
+                self._indptr, self._indices, frontier, chosen
+            )
+            work.items += scanned * node_scale
             src_nodes, block = _block_from_edges(src_g, dst_g, frontier)
             block.edge_scale = node_scale
             block.node_scale = node_scale

@@ -19,7 +19,14 @@ from repro.sampling.base import SampleWork, SubgraphSample
 
 
 class RandomWalkSampler:
-    """Root-sampled random walks inducing per-batch subgraphs."""
+    """Root-sampled random walks inducing per-batch subgraphs.
+
+    The walk itself and the subgraph induction
+    (:func:`~repro.graph.formats.induced_subgraph`) are both vectorized —
+    no per-root Python loops.  ``seed=None`` leaves the RNG
+    nondeterministic; the framework wrappers and the benchmark harness
+    always pass an explicit seed (default 0) so runs are reproducible.
+    """
 
     def __init__(
         self,

@@ -1,0 +1,151 @@
+"""Vectorized global->local id machinery shared by every sampler.
+
+The paper attributes DGL's sampling advantage to native (C++-profile)
+samplers with low per-item overhead (Observation 2, Figs. 4/6/10/14); the
+reproduction models that difference through
+:mod:`repro.frameworks.profiles`, so our *own* Python overhead must stay
+out of the measurement.  This module replaces the per-element dict
+lookups and ``np.fromiter`` generators the samplers used to relabel
+global node ids into local block coordinates with ``np.searchsorted``
+passes, and provides the CSR gather primitive the vectorized samplers
+are built on.
+
+Three primitives:
+
+* :func:`relabel` — map global ids to their positions in an id map, one
+  ``searchsorted`` per call instead of one dict probe per element.
+* :func:`unique_with_seeds` — build a block's node set: the seeds (dst
+  prefix, order preserved) followed by the sorted unique extra ids.
+* :func:`gather_neighborhoods` — concatenate the CSR neighbor lists of a
+  whole frontier with ``np.repeat``/offset arithmetic (no per-seed loop).
+
+:func:`block_locals` composes the first two into the standard bipartite
+block layout (dst nodes are a prefix of src nodes, DGL convention).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SamplerError
+from repro.graph.formats import (
+    INDEX_DTYPE,
+    flat_positions,
+    gather_neighborhoods,
+)
+
+__all__ = [
+    "relabel",
+    "unique_with_seeds",
+    "gather_neighborhoods",
+    "flat_positions",
+    "block_locals",
+]
+
+
+def relabel(global_ids: np.ndarray, id_map: np.ndarray,
+            sorter: np.ndarray = None, validate: bool = True) -> np.ndarray:
+    """Map each global id to its position in ``id_map`` (vectorized).
+
+    ``id_map`` holds unique global ids in arbitrary order; the result is
+    the local index such that ``id_map[result] == global_ids``.  Raises
+    :class:`SamplerError` if any id is missing from the map.  Pass a
+    precomputed ``sorter`` (``np.argsort(id_map)``) to amortize the sort
+    across several relabel calls against the same map, and
+    ``validate=False`` to skip the membership check when the caller
+    guarantees every id is present (the result is garbage otherwise).
+    """
+    global_ids = np.asarray(global_ids, dtype=INDEX_DTYPE)
+    id_map = np.asarray(id_map, dtype=INDEX_DTYPE)
+    if global_ids.size == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    if id_map.size == 0:
+        raise SamplerError("cannot relabel against an empty id map")
+    if sorter is None:
+        sorter = np.argsort(id_map, kind="stable")
+    pos = np.searchsorted(id_map, global_ids, sorter=sorter)
+    local = sorter[np.minimum(pos, id_map.size - 1)]
+    if validate and not np.array_equal(id_map[local], global_ids):
+        missing = global_ids[id_map[local] != global_ids]
+        raise SamplerError(
+            f"relabel: {missing.size} id(s) not in the id map "
+            f"(first missing: {int(missing[0])})"
+        )
+    return local.astype(INDEX_DTYPE, copy=False)
+
+
+def unique_with_seeds(seeds: np.ndarray, extra: np.ndarray) -> np.ndarray:
+    """Seeds first (order preserved), then sorted unique extras not in seeds.
+
+    This is the block node-set layout: ``seeds`` become the dst prefix
+    (self-inclusion) and the extra ids — typically the sampled neighbors —
+    are appended deduplicated.
+    """
+    seeds = np.asarray(seeds, dtype=INDEX_DTYPE)
+    extra = np.asarray(extra, dtype=INDEX_DTYPE)
+    if extra.size == 0:
+        return seeds
+    fresh = np.unique(extra)
+    if seeds.size:
+        # Drop extras that are seeds: a searchsorted membership probe
+        # against the sorted seeds (np.setdiff1d re-sorts both sides on
+        # every call and costs more than the sampling pass itself).
+        sorted_seeds = np.sort(seeds)
+        pos = np.minimum(
+            np.searchsorted(sorted_seeds, fresh), seeds.size - 1
+        )
+        fresh = fresh[sorted_seeds[pos] != fresh]
+    if fresh.size == 0:
+        return seeds
+    return np.concatenate([seeds, fresh])
+
+
+def block_locals(
+    src_global: np.ndarray, dst_global: np.ndarray, dst_nodes: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build the local coordinates of one bipartite block.
+
+    Returns ``(src_nodes, src_local, dst_local)`` with ``dst_nodes`` as a
+    prefix of ``src_nodes`` (DGL block layout).  ``dst_nodes`` must be
+    duplicate-free.  A single ``np.unique(..., return_inverse=True)`` over
+    the concatenated ids yields the node set and the src relabeling in one
+    sort; dst ids resolve through the same sorted array.
+    """
+    src_global = np.asarray(src_global, dtype=INDEX_DTYPE)
+    dst_global = np.asarray(dst_global, dtype=INDEX_DTYPE)
+    dst_nodes = np.asarray(dst_nodes, dtype=INDEX_DTYPE)
+
+    combined = np.concatenate([dst_nodes, src_global])
+    uniq, inverse = np.unique(combined, return_inverse=True)
+    # Permute the sorted uniques into block order — seeds first (input
+    # order preserved), then the fresh ids in sorted order.  ``to_local``
+    # maps a position in ``uniq`` to a position in ``src_nodes``.
+    seed_pos = inverse[:dst_nodes.size]
+    is_seed = np.zeros(uniq.size, dtype=bool)
+    is_seed[seed_pos] = True
+    fresh_pos = np.nonzero(~is_seed)[0]
+    to_local = np.empty(uniq.size, dtype=INDEX_DTYPE)
+    to_local[seed_pos] = np.arange(dst_nodes.size, dtype=INDEX_DTYPE)
+    to_local[fresh_pos] = dst_nodes.size + np.arange(
+        fresh_pos.size, dtype=INDEX_DTYPE
+    )
+    src_nodes = np.empty(uniq.size, dtype=INDEX_DTYPE)
+    src_nodes[to_local] = uniq
+    src_local = to_local[inverse[dst_nodes.size:]]
+
+    if dst_global.size == 0:
+        dst_local = np.empty(0, dtype=INDEX_DTYPE)
+    else:
+        if uniq.size == 0:
+            raise SamplerError("cannot relabel against an empty id map")
+        pos = np.minimum(np.searchsorted(uniq, dst_global), uniq.size - 1)
+        if not np.array_equal(uniq[pos], dst_global):
+            missing = dst_global[uniq[pos] != dst_global]
+            raise SamplerError(
+                f"relabel: {missing.size} id(s) not in the id map "
+                f"(first missing: {int(missing[0])})"
+            )
+        dst_local = to_local[pos]
+    return src_nodes, src_local, dst_local

@@ -58,9 +58,28 @@ class TestLookups:
         mask = cache.hit_mask(nodes)
         assert mask.sum() == cache.capacity_nodes
 
+    def test_hit_mask_is_pure(self, fgraph):
+        """Repeated probes of the same batch must not skew hit_rate."""
+        cache = GpuFeatureCache(fgraph, fraction=0.3, policy="degree")
+        nodes = np.arange(fgraph.num_nodes)
+        cache.hit_mask(nodes)
+        cache.hit_mask(nodes)
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.hit_rate() == 0.0
+
+    def test_record_counts_once_per_call(self, fgraph):
+        cache = GpuFeatureCache(fgraph, fraction=0.3, policy="degree")
+        nodes = np.arange(fgraph.num_nodes)
+        mask = cache.record(nodes)
+        assert np.array_equal(mask, cache.hit_mask(nodes))
+        assert cache.hits == cache.capacity_nodes
+        assert cache.hits + cache.misses == nodes.size
+        cache.record(nodes)
+        assert cache.hits + cache.misses == 2 * nodes.size
+
     def test_hit_rate_accumulates(self, fgraph):
         cache = GpuFeatureCache(fgraph, fraction=0.5, policy="random", seed=0)
-        cache.hit_mask(np.arange(fgraph.num_nodes))
+        cache.record(np.arange(fgraph.num_nodes))
         assert cache.hit_rate() == pytest.approx(0.5, abs=0.02)
 
     def test_degree_cache_beats_random_on_sampled_batches(self, fgraph):
@@ -71,8 +90,8 @@ class TestLookups:
                                        seed=1)
         sampler = fw.neighbor_sampler(fgraph, seed=0)
         for batch in list(sampler.epoch())[:5]:
-            degree_cache.hit_mask(batch.input_nodes)
-            random_cache.hit_mask(batch.input_nodes)
+            degree_cache.record(batch.input_nodes)
+            random_cache.record(batch.input_nodes)
         assert degree_cache.hit_rate() > random_cache.hit_rate()
 
 
