@@ -8,6 +8,8 @@ Commands mirror the paper's experiment families:
 * ``conv`` — Figure 5 (conv-layer forward runtime).
 * ``train`` — Figures 6-21 (one end-to-end training experiment).
 * ``fullbatch`` — Figures 22-24 (full-batch GraphSAGE).
+* ``lint`` — static analysis enforcing the stack's hot-path,
+  determinism, and autograd invariants.
 """
 
 from __future__ import annotations
@@ -109,6 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compare against previous results; non-zero exit "
                             "on drift beyond --tolerance")
     suite.add_argument("--tolerance", type=float, default=0.05)
+
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
     return parser
 
 
@@ -265,6 +271,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_report(args)
     elif args.command == "suite":
         return cmd_suite(args)
+    elif args.command == "lint":
+        from repro.lint.cli import cmd_lint
+
+        return cmd_lint(args)
     return 0
 
 

@@ -35,7 +35,7 @@ def power_law_degrees(
     """
     if num_nodes <= 0:
         raise ValueError("num_nodes must be positive")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     raw = rng.pareto(exponent - 1.0, size=num_nodes) + 1.0
     raw = np.minimum(raw, num_nodes ** 0.8)  # clip extreme hubs
     degrees = raw / raw.sum() * target_edges

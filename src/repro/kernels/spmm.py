@@ -80,7 +80,9 @@ def spmm(adj: SparseAdj, x: Tensor, weight: Optional[Tensor] = None,
             if x.requires_grad:
                 if weight is not None and multihead:
                     grad_x = np.empty_like(x.data)
-                    for h in range(x.shape[1]):
+                    # Per-head, not per-element: H is tiny and each
+                    # iteration is one full SpMM.
+                    for h in range(x.shape[1]):  # repro-lint: disable=HOTLOOP
                         grad_x[:, h, :] = adj.rmatmul(out.grad[:, h, :], weight.data[:, h])
                 elif weight is not None:
                     grad_x = adj.rmatmul(out.grad, weight.data)

@@ -1,0 +1,33 @@
+"""``repro lint`` — AST-based static analysis for the reproduction stack.
+
+The paper's magnifying-glass methodology attributes framework-level
+slowdowns to a handful of recurring code patterns: per-element Python
+loops on the sampling hot path, redundant format conversions, silent
+dtype promotion, and nondeterministic RNG that makes runs incomparable.
+This package turns those observations into mechanical checks so the
+patterns cannot creep back in as the codebase grows.
+
+Everything here is stdlib-only (``ast`` + ``tokenize``): the linter must
+run in CI before any heavy dependency is importable.
+
+Public API:
+
+* :func:`repro.lint.engine.lint_paths` — run the rules over files/dirs.
+* :data:`repro.lint.rules.RULES` — the rule registry.
+* :class:`repro.lint.engine.Finding` — one diagnostic.
+"""
+
+from repro.lint.engine import FileContext, Finding, LintResult, Rule, lint_paths
+from repro.lint.rules import RULES
+from repro.lint.baseline import load_baseline, save_baseline
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "RULES",
+    "lint_paths",
+    "load_baseline",
+    "save_baseline",
+]

@@ -1,0 +1,80 @@
+"""Finding formatters: human text and a stable machine-readable JSON.
+
+The JSON schema (version 1) is a contract for downstream tooling
+(pre-commit hooks, dashboards); it is documented in ``docs/lint.md`` and
+covered by ``tests/test_lint.py``::
+
+    {
+      "version": 1,
+      "tool": "repro-lint",
+      "ok": bool,                  # no new findings
+      "summary": {
+        "files_checked": int,
+        "new": int,                # findings that gate (exit 1)
+        "baselined": int,          # matched the baseline
+        "suppressed": int,         # silenced by inline comments
+        "by_rule": {"RULE": int, ...},       # new findings only
+        "by_severity": {"error": int, ...}   # new findings only
+      },
+      "findings": [                # new findings, sorted by location
+        {"rule": str, "severity": str, "path": str,
+         "line": int, "col": int, "message": str}
+      ]
+    }
+
+Fields are only ever *added* within a schema version; removals or
+renames bump ``version``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict
+
+from repro.lint.engine import LintResult
+
+SCHEMA_VERSION = 1
+
+
+def format_text(result: LintResult, verbose: bool = False) -> str:
+    """One ``path:line:col: RULE message`` row per new finding + summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule} [{f.severity}] {f.message}"
+        for f in result.findings
+    ]
+    summary = (
+        f"{len(result.findings)} new finding(s) in {result.files_checked} "
+        f"file(s) ({len(result.baselined)} baselined, "
+        f"{result.suppressed} suppressed)"
+    )
+    if verbose and result.baselined:
+        lines.append("baselined (not gating):")
+        lines.extend(
+            f"  {f.path}:{f.line}: {f.rule} {f.message}" for f in result.baselined
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def to_json_payload(result: LintResult) -> Dict[str, object]:
+    by_rule = Counter(f.rule for f in result.findings)
+    by_severity = Counter(f.severity for f in result.findings)
+    return {
+        "version": SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "ok": result.ok,
+        "summary": {
+            "files_checked": result.files_checked,
+            "new": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+            "by_rule": dict(sorted(by_rule.items())),
+            "by_severity": dict(sorted(by_severity.items())),
+        },
+        "findings": [f.to_dict() for f in result.findings],
+    }
+
+
+def format_json(result: LintResult) -> str:
+    return json.dumps(to_json_payload(result), indent=2)

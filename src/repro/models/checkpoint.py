@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import ReproError
 from repro.tensor.module import Module
 from repro.tensor.optim import Adam, Optimizer
+from repro.tensor.tensor import no_grad
 
 _FORMAT_VERSION = 1
 
@@ -82,11 +83,12 @@ def load_checkpoint(path: Union[str, Path], model: Module,
             f"parameter mismatch: missing={missing}, unexpected={unexpected}"
         )
     with np.load(path) as arrays:
-        for name, param in own.items():
-            stored = arrays[f"param::{name}"]
-            if stored.shape != param.data.shape:
-                raise CheckpointError(f"shape mismatch for {name}")
-            param.data = stored.astype(param.data.dtype)
+        with no_grad():
+            for name, param in own.items():
+                stored = arrays[f"param::{name}"]
+                if stored.shape != param.data.shape:
+                    raise CheckpointError(f"shape mismatch for {name}")
+                param.data = stored.astype(param.data.dtype)
 
         if optimizer is not None and manifest.get("optimizer"):
             info = manifest["optimizer"]

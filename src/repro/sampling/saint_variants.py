@@ -34,7 +34,8 @@ class SaintNodeSampler:
         self.paper_budget = budget
         self.actual_budget = max(2, int(round(budget / graph.node_scale)))
         self.rng = np.random.default_rng(seed)
-        degrees = np.maximum(graph.adj.degrees(), 1).astype(np.float64)
+        # choice() needs f64 probabilities that sum to exactly 1.
+        degrees = np.maximum(graph.adj.degrees(), 1).astype(np.float64)  # repro-lint: disable=DTYPE-DRIFT
         weights = degrees ** 2
         self._probs = weights / weights.sum()
 
@@ -76,9 +77,10 @@ class SaintEdgeSampler:
         self.rng = np.random.default_rng(seed)
         coo = graph.adj.to_coo()
         self._src, self._dst = coo.src, coo.dst
+        # choice() needs f64 probabilities that sum to exactly 1.
         degrees = np.maximum(
             np.bincount(self._src, minlength=graph.num_nodes), 1
-        ).astype(np.float64)
+        ).astype(np.float64)  # repro-lint: disable=DTYPE-DRIFT
         weights = 1.0 / degrees[self._src] + 1.0 / degrees[self._dst]
         self._probs = weights / weights.sum()
 

@@ -13,6 +13,11 @@ import numpy as np
 from repro.tensor.context import charge
 from repro.tensor.tensor import FLOAT_DTYPE, Tensor
 
+# Shared fallback stream for callers that don't thread their own
+# Generator (repro-lint RNG-SEED): seeded so bare dropout() calls are
+# reproducible across runs while successive calls still draw fresh masks.
+_FALLBACK_RNG = np.random.default_rng(0)
+
 
 def relu(x: Tensor) -> Tensor:
     out = Tensor._result(np.maximum(x.data, 0.0), (x,), "relu")
@@ -136,7 +141,7 @@ def dropout(x: Tensor, p: float = 0.5, training: bool = True,
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
     if not training or p == 0.0:
         return x
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else _FALLBACK_RNG
     mask = (rng.random(x.shape) >= p).astype(FLOAT_DTYPE) / (1.0 - p)
     out = Tensor._result(x.data * mask, (x,), "dropout")
     n = out.data.size

@@ -7,7 +7,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.tensor import init
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, no_grad
 from repro.tensor import functional as F
 
 
@@ -104,10 +104,11 @@ class Module:
         if missing or unexpected:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
                            f"unexpected={sorted(unexpected)}")
-        for name, array in state.items():
-            if own[name].data.shape != array.shape:
-                raise ValueError(f"shape mismatch for {name}")
-            own[name].data = array.astype(own[name].data.dtype, copy=True)
+        with no_grad():
+            for name, array in state.items():
+                if own[name].data.shape != array.shape:
+                    raise ValueError(f"shape mismatch for {name}")
+                own[name].data = array.astype(own[name].data.dtype, copy=True)
 
 
 def _move_tensor(param: Parameter, device, link) -> Parameter:

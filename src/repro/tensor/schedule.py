@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.tensor.context import charge
 from repro.tensor.optim import Optimizer
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, no_grad
 
 
 def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
@@ -28,12 +28,17 @@ def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
     params = [p for p in params if p.grad is not None]
     if not params:
         return 0.0
-    total_sq = sum(float((p.grad.astype(np.float64) ** 2).sum()) for p in params)
+    total_sq = 0.0
+    for p in params:
+        # f64 accumulation keeps the global norm stable over many params.
+        grad64 = p.grad.astype(np.float64)  # repro-lint: disable=DTYPE-DRIFT
+        total_sq += float((grad64 ** 2).sum())
     total = math.sqrt(total_sq)
     if total > max_norm:
         scale = max_norm / (total + 1e-12)
-        for p in params:
-            p.grad = (p.grad * scale).astype(p.grad.dtype)
+        with no_grad():
+            for p in params:
+                p.grad = (p.grad * scale).astype(p.grad.dtype)
     device = next((p.device for p in params if p.device is not None), None)
     n = sum(p.grad.size for p in params)
     charge(device, "clip_grad_norm", "elementwise", flops=3 * n, bytes_moved=8 * n)

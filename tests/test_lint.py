@@ -1,0 +1,493 @@
+"""Tests for the ``repro lint`` static-analysis subsystem.
+
+Each rule gets true-positive and true-negative fixture snippets, written
+into a synthetic ``repro.*`` package tree so path-scoped rules (HOTLOOP,
+INPLACE-GRAD, PARAM-REG, DTYPE-DRIFT) see the module names they key on.
+The meta-test at the bottom pins the acceptance criterion: the real
+``src/repro`` tree is clean under every rule with an *empty* baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import RULES, lint_paths, load_baseline, save_baseline
+from repro.lint.baseline import BaselineError
+from repro.lint.engine import module_name_for
+from repro.lint.reporting import SCHEMA_VERSION, to_json_payload
+from repro.lint.rules import resolve_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write_module(tmp_path: Path, rel: str, source: str) -> Path:
+    """Write ``source`` at ``tmp_path/rel`` with an ``__init__.py`` chain."""
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    walk = target.parent
+    while walk != tmp_path.parent and walk != walk.parent:
+        if walk == tmp_path:
+            break
+        (walk / "__init__.py").touch()
+        walk = walk.parent
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return target
+
+
+def run_rules(tmp_path, rel, source, select=None):
+    path = write_module(tmp_path, rel, source)
+    return lint_paths([str(path)], select=select).findings
+
+
+# ---------------------------------------------------------------------------
+# registry
+
+
+def test_registry_has_all_five_rules():
+    assert set(RULES) == {"HOTLOOP", "RNG-SEED", "INPLACE-GRAD",
+                          "PARAM-REG", "DTYPE-DRIFT"}
+    for rule in RULES.values():
+        assert rule.severity in ("error", "warning")
+        assert rule.description
+
+
+def test_resolve_rules_select_and_unknown():
+    assert [r.name for r in resolve_rules(["hotloop"])] == ["HOTLOOP"]
+    with pytest.raises(KeyError):
+        resolve_rules(["NOPE"])
+
+
+def test_module_name_for(tmp_path):
+    path = write_module(tmp_path, "repro/sampling/mod.py", "x = 1\n")
+    assert module_name_for(path) == "repro.sampling.mod"
+    loose = tmp_path / "loose.py"
+    loose.write_text("x = 1\n")
+    assert module_name_for(loose) == "loose"
+
+
+# ---------------------------------------------------------------------------
+# HOTLOOP
+
+
+HOTLOOP_TP = """
+    def f(xs):
+        total = 0
+        for i in range(len(xs)):
+            total += xs[i]
+        for i in range(xs.size):
+            total += xs[i]
+        for h in range(xs.shape[0]):
+            total += xs[h]
+        for v in xs.flat:
+            total += v
+        vals = [v * 2 for v in xs.tolist()]
+        return total, vals
+"""
+
+
+def test_hotloop_true_positives(tmp_path):
+    findings = run_rules(tmp_path, "repro/sampling/hot.py", HOTLOOP_TP)
+    assert len(findings) == 5
+    assert all(f.rule == "HOTLOOP" for f in findings)
+
+
+def test_hotloop_ignores_strided_and_scalar_loops(tmp_path):
+    source = """
+        def f(train, xs, fanouts, batch):
+            for start in range(0, train.size, batch):
+                yield train[start:start + batch]
+            for fanout in reversed(fanouts):
+                yield fanout
+            for i in range(3):
+                yield i
+    """
+    assert run_rules(tmp_path, "repro/sampling/ok.py", source) == []
+
+
+def test_hotloop_scoped_to_hot_path_packages(tmp_path):
+    # Same per-element loop outside the hot-path packages: not flagged.
+    assert run_rules(tmp_path, "repro/models/cold.py", HOTLOOP_TP) == []
+    assert run_rules(tmp_path, "plain/pkg.py", HOTLOOP_TP) == []
+
+
+# ---------------------------------------------------------------------------
+# RNG-SEED
+
+
+def test_rng_seed_true_positives(tmp_path):
+    source = """
+        import numpy as np
+
+        def f():
+            a = np.random.default_rng()
+            b = np.random.default_rng(None)
+            c = np.random.rand(3)
+            np.random.seed(0)
+            np.random.shuffle(c)
+            return a, b, c
+    """
+    findings = run_rules(tmp_path, "anywhere.py", source)
+    assert len(findings) == 5
+    assert all(f.rule == "RNG-SEED" for f in findings)
+
+
+def test_rng_seed_true_negatives(tmp_path):
+    source = """
+        import numpy as np
+
+        def f(seed, rng=None):
+            a = np.random.default_rng(0)
+            b = np.random.default_rng(seed)
+            rng = rng if rng is not None else np.random.default_rng(seed)
+            keys = rng.random(10)
+            pick = rng.choice(10, size=3)
+            gen = np.random.Generator(np.random.PCG64(seed))
+            return a, b, keys, pick, gen
+    """
+    assert run_rules(tmp_path, "anywhere.py", source) == []
+
+
+# ---------------------------------------------------------------------------
+# INPLACE-GRAD
+
+
+def test_inplace_grad_true_positives(tmp_path):
+    source = """
+        def bad(p, update, g):
+            p.data = update
+            p.grad += g
+            p.data[0] = 1.0
+            p.grad.fill(0.0)
+    """
+    findings = run_rules(tmp_path, "repro/models/mutate.py", source)
+    assert len(findings) == 4
+    assert all(f.rule == "INPLACE-GRAD" for f in findings)
+
+
+def test_inplace_grad_allows_no_grad_and_exempt_modules(tmp_path):
+    guarded = """
+        from repro.tensor.tensor import no_grad
+
+        def ok(p, update):
+            with no_grad():
+                p.data = update
+                p.grad = None
+    """
+    assert run_rules(tmp_path, "repro/models/guarded.py", guarded) == []
+    # The optimizer module's whole job is mutating .data in place.
+    raw = """
+        def step(p, lr, grad):
+            p.data = p.data - lr * grad
+    """
+    assert run_rules(tmp_path, "repro/tensor/optim.py", raw) == []
+    # Outside the repro package the rule does not apply (tests may poke).
+    assert run_rules(tmp_path, "plain/mutate.py", "def f(p):\n    p.data = 1\n") == []
+
+
+# ---------------------------------------------------------------------------
+# PARAM-REG
+
+
+def test_param_reg_true_positives(tmp_path):
+    source = """
+        from repro.tensor.module import Module, Parameter
+
+        class Bad(Module):
+            def __init__(self, w0):
+                super().__init__()
+                weight = Parameter(w0)        # never registered
+                Parameter(w0)                 # discarded immediately
+                scale = Parameter(w0)
+                self.cached = scale.data * 2  # read, still unregistered
+    """
+    findings = run_rules(tmp_path, "repro/models/layers.py", source)
+    assert len(findings) == 3
+    assert all(f.rule == "PARAM-REG" for f in findings)
+
+
+def test_param_reg_true_negatives(tmp_path):
+    source = """
+        from repro.tensor.module import Module, Parameter
+
+        class Good(Module):
+            def __init__(self, w0, k):
+                super().__init__()
+                self.weight = Parameter(w0)
+                bias = Parameter(w0)
+                self.bias = bias
+                for i in range(k):
+                    setattr(self, f"lin{i}", Parameter(w0))
+                extras = Parameter(w0)
+                self.extras = [extras]
+
+            def forward(self, x):
+                w = Parameter(x)  # outside __init__: other rules' business
+                return w
+    """
+    assert run_rules(tmp_path, "repro/models/layers.py", source) == []
+
+
+# ---------------------------------------------------------------------------
+# DTYPE-DRIFT
+
+
+def test_dtype_drift_true_positives(tmp_path):
+    source = """
+        import numpy as np
+
+        def f(x):
+            a = x.astype(np.float64)
+            b = x.astype("float64")
+            c = x.astype(float)
+            d = np.zeros(3, dtype=np.float64)
+            e = np.float64(x[0])
+            return a, b, c, d, e
+    """
+    findings = run_rules(tmp_path, "repro/kernels/promote.py", source)
+    assert len(findings) == 5
+    assert all(f.rule == "DTYPE-DRIFT" for f in findings)
+    assert all(f.severity == "warning" for f in findings)
+
+
+def test_dtype_drift_true_negatives(tmp_path):
+    source = """
+        import numpy as np
+        FLOAT_DTYPE = np.float32
+
+        def f(x):
+            a = x.astype(np.float32)
+            b = x.astype(FLOAT_DTYPE)
+            c = np.zeros(3, dtype=np.int64)
+            return a, b, c
+    """
+    assert run_rules(tmp_path, "repro/kernels/promote.py", source) == []
+    # Not a hot-path package: promotion is allowed (e.g. report code).
+    drift = "import numpy as np\n\ndef f(x):\n    return x.astype(np.float64)\n"
+    assert run_rules(tmp_path, "repro/profiling/report2.py", drift) == []
+
+
+# ---------------------------------------------------------------------------
+# inline suppressions
+
+
+def test_inline_suppression_silences_only_that_line(tmp_path):
+    source = """
+        import numpy as np
+
+        def f():
+            a = np.random.default_rng()  # repro-lint: disable=RNG-SEED justified here
+            b = np.random.default_rng()
+            return a, b
+    """
+    findings = run_rules(tmp_path, "anywhere.py", source)
+    assert len(findings) == 1
+    assert findings[0].line == 6
+
+
+def test_suppression_matches_multiline_expression_span(tmp_path):
+    source = """
+        import numpy as np
+
+        def f(x):
+            return np.maximum(
+                x, 1
+            ).astype(np.float64)  # repro-lint: disable=DTYPE-DRIFT
+    """
+    assert run_rules(tmp_path, "repro/kernels/span.py", source) == []
+
+
+def test_file_level_suppression_and_disable_all(tmp_path):
+    source = """
+        # repro-lint: disable-file=RNG-SEED
+        import numpy as np
+
+        def f():
+            a = np.random.default_rng()
+            b = np.random.rand(3)  # repro-lint: disable=all
+            return a, b
+    """
+    assert run_rules(tmp_path, "anywhere.py", source) == []
+
+
+def test_marker_inside_string_is_not_a_suppression(tmp_path):
+    source = """
+        import numpy as np
+
+        def f():
+            note = "# repro-lint: disable=RNG-SEED"
+            return np.random.default_rng(), note
+    """
+    findings = run_rules(tmp_path, "anywhere.py", source)
+    assert len(findings) == 1
+
+
+# ---------------------------------------------------------------------------
+# baseline
+
+
+BASELINE_SRC = """
+    import numpy as np
+
+    def f():
+        return np.random.default_rng()
+"""
+
+
+def test_baseline_roundtrip_filters_old_findings(tmp_path):
+    path = write_module(tmp_path, "anywhere.py", BASELINE_SRC)
+    first = lint_paths([str(path)])
+    assert len(first.findings) == 1
+
+    baseline_file = tmp_path / "baseline.json"
+    save_baseline(first.findings, baseline_file)
+    counts = load_baseline(baseline_file)
+    assert sum(counts.values()) == 1
+
+    second = lint_paths([str(path)], baseline=counts)
+    assert second.ok
+    assert len(second.baselined) == 1
+
+
+def test_baseline_counts_gate_additional_instances(tmp_path):
+    path = write_module(tmp_path, "anywhere.py", BASELINE_SRC)
+    counts = {f.baseline_key(): 1 for f in lint_paths([str(path)]).findings}
+
+    # A second identical violation in the same file is NEW, not absorbed.
+    write_module(tmp_path, "anywhere.py", BASELINE_SRC + """
+    def g():
+        return np.random.default_rng()
+""")
+    result = lint_paths([str(path)], baseline=counts)
+    assert len(result.baselined) == 1
+    assert len(result.findings) == 1
+
+
+def test_baseline_rejects_malformed_files(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("[]")
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+    bad.write_text('{"version": 99, "findings": []}')
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+
+
+# ---------------------------------------------------------------------------
+# syntax errors
+
+
+def test_unparsable_file_yields_syntax_finding(tmp_path):
+    path = write_module(tmp_path, "broken.py", "def f(:\n")
+    findings = lint_paths([str(path)]).findings
+    assert len(findings) == 1
+    assert findings[0].rule == "SYNTAX"
+    assert findings[0].severity == "error"
+
+
+# ---------------------------------------------------------------------------
+# JSON schema (documented contract for downstream tooling)
+
+
+def test_json_payload_schema(tmp_path):
+    path = write_module(tmp_path, "anywhere.py", BASELINE_SRC)
+    payload = to_json_payload(lint_paths([str(path)]))
+
+    assert payload["version"] == SCHEMA_VERSION == 1
+    assert payload["tool"] == "repro-lint"
+    assert payload["ok"] is False
+    summary = payload["summary"]
+    assert set(summary) == {"files_checked", "new", "baselined", "suppressed",
+                            "by_rule", "by_severity"}
+    assert summary["new"] == 1
+    assert summary["by_rule"] == {"RNG-SEED": 1}
+    assert summary["by_severity"] == {"error": 1}
+    (finding,) = payload["findings"]
+    assert set(finding) == {"rule", "severity", "path", "line", "col", "message"}
+    assert finding["rule"] == "RNG-SEED"
+    assert isinstance(finding["line"], int) and finding["line"] >= 1
+    json.dumps(payload)  # must be serializable as-is
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def test_cli_exit_codes_and_json(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # avoid picking up the repo's baseline
+    dirty = write_module(tmp_path, "dirty.py", BASELINE_SRC)
+    clean = write_module(tmp_path, "clean.py", "x = 1\n")
+
+    assert cli_main(["lint", str(clean)]) == 0
+    capsys.readouterr()
+
+    assert cli_main(["lint", str(dirty), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False and payload["summary"]["new"] == 1
+
+    # --select an unrelated rule: the RNG finding is out of scope.
+    assert cli_main(["lint", str(dirty), "--select", "HOTLOOP"]) == 0
+    capsys.readouterr()
+
+    assert cli_main(["lint", str(dirty), "--select", "BOGUS"]) == 2
+    capsys.readouterr()
+
+    assert cli_main(["lint", str(dirty), "--baseline", "missing.json"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_update_baseline_then_gate(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    dirty = write_module(tmp_path, "dirty.py", BASELINE_SRC)
+    baseline = tmp_path / "lint-baseline.json"
+
+    assert cli_main(["lint", str(dirty), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+    capsys.readouterr()
+    assert baseline.exists()
+
+    assert cli_main(["lint", str(dirty), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+
+
+def test_cli_list_rules(capsys):
+    assert cli_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in RULES:
+        assert name in out
+
+
+# ---------------------------------------------------------------------------
+# meta: the shipped tree is clean
+
+
+def test_src_repro_is_clean_with_empty_baseline():
+    """Acceptance criterion: `repro lint src/repro` has zero findings.
+
+    Deliberately run WITHOUT the shipped baseline so this cannot pass by
+    grandfathering: the tree itself must be clean.
+    """
+    result = lint_paths([str(REPO_ROOT / "src" / "repro")])
+    assert result.ok, "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in result.findings
+    )
+    assert result.files_checked > 90
+
+
+def test_shipped_baseline_is_empty():
+    counts = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
+    assert counts == {}
+
+
+def test_tests_and_benchmarks_are_clean():
+    """The CI gate lints tests/ and benchmarks/ too — keep them clean."""
+    result = lint_paths([str(REPO_ROOT / "tests"),
+                         str(REPO_ROOT / "benchmarks")])
+    assert result.ok, "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in result.findings
+    )
