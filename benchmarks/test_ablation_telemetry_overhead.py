@@ -1,0 +1,74 @@
+"""Ablation: wall-clock overhead of the telemetry layer.
+
+The telemetry session adds span bookkeeping and metric updates to every
+hot path (sampling, kernels, PCIe, allocator, trainer). The budget is
+<5% wall-clock overhead versus an identical untelemetered run, and zero
+drift on the *simulated* numbers (the virtual clock never observes
+telemetry work).
+
+Methodology: interleaved best-of-N timing — alternate off/on runs so
+machine noise (frequency scaling, page cache) hits both arms equally,
+then compare the minima. Best-of-N is the standard estimator for the
+deterministic cost floor of a workload.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.bench import format_series, run_training_experiment
+
+ROUNDS = 5
+
+
+def _run(telemetry_dir=None):
+    t0 = time.perf_counter()
+    result = run_training_experiment(
+        "dglite", "flickr", "graphsage", placement="cpugpu",
+        epochs=3, representative_batches=2,
+        telemetry_dir=telemetry_dir,
+    )
+    return time.perf_counter() - t0, result
+
+
+def test_ablation_telemetry_overhead(once, tmp_path):
+    def run():
+        off, on = [], []
+        baseline = telemetered = None
+        for i in range(ROUNDS):
+            dt, baseline = _run()
+            off.append(dt)
+            dt, telemetered = _run(str(tmp_path / f"round-{i}"))
+            on.append(dt)
+        return off, on, baseline, telemetered
+
+    off, on, baseline, telemetered = once(run)
+    best_off, best_on = min(off), min(on)
+    overhead = (best_on - best_off) / best_off
+
+    series = {
+        "telemetry-off": {"best_ms": best_off * 1e3,
+                          "mean_ms": sum(off) / len(off) * 1e3},
+        "telemetry-on": {"best_ms": best_on * 1e3,
+                         "mean_ms": sum(on) / len(on) * 1e3},
+        "overhead": {"best_ms": overhead * 100.0,
+                     "mean_ms": float("nan")},
+    }
+    emit("ablation_telemetry_overhead",
+         format_series("Ablation: telemetry wall-clock overhead "
+                       "(overhead row is percent)",
+                       series, unit="ms", precision=2))
+
+    # The budget from the issue: under 5% on the best-of-N floor.
+    assert overhead < 0.05, (
+        f"telemetry overhead {overhead:.1%} exceeds the 5% budget "
+        f"(off {best_off * 1e3:.1f} ms vs on {best_on * 1e3:.1f} ms)")
+
+    # Telemetry must never perturb the simulation itself.
+    assert telemetered.total_time == baseline.total_time
+    for phase, secs in baseline.phases.items():
+        assert abs(telemetered.phases[phase] - secs) < 1e-9
+
+    # And the instrumented run actually produced its artifacts.
+    assert set(telemetered.artifacts) == {"events", "metrics", "trace",
+                                          "manifest"}

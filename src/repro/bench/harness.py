@@ -8,8 +8,9 @@ plain numbers: virtual seconds, joules, watts, and phase breakdowns.
 from __future__ import annotations
 
 import gc
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -26,6 +27,8 @@ from repro.models.trainer import MiniBatchTrainer, TrainConfig
 from repro.kernels.transfer import adj_to_device, to_device
 from repro.power.monitor import EnergyMonitor, EnergyReport
 from repro.profiling.profiler import PhaseProfiler
+from repro.telemetry.runtime import TelemetrySession
+from repro.telemetry.runtime import session as telemetry_session
 from repro.tensor.tensor import no_grad
 
 MODEL_BUILDERS = {
@@ -49,6 +52,9 @@ class ExperimentResult:
     # Kernel-level attribution (busy seconds by kernel family) — the
     # paper-title "magnifying glass" view of where time went.
     kernel_families: Dict[str, float] = field(default_factory=dict)
+    # Telemetry artifact paths (run.json, events.jsonl, ...) when the
+    # experiment ran with ``telemetry_dir`` set.
+    artifacts: Dict[str, str] = field(default_factory=dict)
 
     @property
     def total_time(self) -> float:
@@ -85,6 +91,7 @@ def run_training_experiment(
     feature_cache_fraction: float = 0.0,
     cache_policy: str = "degree",
     num_workers: int = 0,
+    telemetry_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Train one GNN end-to-end and return breakdown + power/energy.
 
@@ -93,78 +100,130 @@ def run_training_experiment(
     sampler).  ``preload`` adds the case-study-1 feature pre-loading to a
     "cpugpu" run; ``feature_cache_fraction`` > 0 instead caches that
     fraction of node features on the GPU (partial pre-loading, ref [12]).
+
+    ``telemetry_dir`` activates a telemetry session for the run and writes
+    the artifact bundle (``run.json``, ``events.jsonl``, ``metrics.prom``,
+    ``trace.json``) there; the paths land in ``ExperimentResult.artifacts``.
     """
     if model not in MODEL_BUILDERS:
         raise BenchmarkError(f"unknown model {model!r}")
     build_model, build_sampler = MODEL_BUILDERS[model]
     fw = get_framework(framework)
     machine = paper_testbed()
-    monitor = EnergyMonitor(machine, interval=monitor_interval)
-    profiler = PhaseProfiler(machine.clock)
-    label = _label(framework, placement, preload, prefetch)
-    monitor.start()
-    try:
-        with profiler.phase("data_loading"):
-            fgraph = fw.load(dataset, machine, scale=dataset_scale)
-        config = TrainConfig(
-            epochs=epochs,
-            placement=placement,
-            preload=preload,
-            prefetch=prefetch,
-            num_workers=num_workers,
-            representative_batches=representative_batches,
-            seed=seed,
-        )
-        if model == "graphsage":
-            mode = {"gpu": "gpu", "uvagpu": "uva"}.get(placement, "cpu")
-            if placement == "gpu":
-                # GPU-based sampling needs the graph resident on the GPU
-                # before the sampler is constructed.
+    session_cm = (telemetry_session(machine.clock) if telemetry_dir is not None
+                  else nullcontext(None))
+    with session_cm as tsession:
+        monitor = EnergyMonitor(machine, interval=monitor_interval)
+        profiler = PhaseProfiler(machine.clock)
+        label = _label(framework, placement, preload, prefetch)
+        monitor.start()
+        try:
+            with profiler.phase("data_loading"):
+                fgraph = fw.load(dataset, machine, scale=dataset_scale)
+            config = TrainConfig(
+                epochs=epochs,
+                placement=placement,
+                preload=preload,
+                prefetch=prefetch,
+                num_workers=num_workers,
+                representative_batches=representative_batches,
+                seed=seed,
+            )
+            if model == "graphsage":
+                mode = {"gpu": "gpu", "uvagpu": "uva"}.get(placement, "cpu")
+                if placement == "gpu":
+                    # GPU-based sampling needs the graph resident on the GPU
+                    # before the sampler is constructed.
+                    with profiler.phase("data_movement"):
+                        fgraph.preload_to_gpu()
+                sampler = build_sampler(fw, fgraph, mode=mode, seed=seed)
+            else:
+                if placement in ("gpu", "uvagpu"):
+                    raise BenchmarkError(
+                        f"{model} has no GPU/UVA sampler (paper: GraphSAGE-only)"
+                    )
+                sampler = build_sampler(fw, fgraph, seed=seed)
+            net = build_model(fw, fgraph, seed=seed)
+            feature_cache = None
+            if feature_cache_fraction > 0:
+                if placement != "cpugpu" or preload:
+                    raise BenchmarkError(
+                        "feature caching applies to the plain 'cpugpu' placement"
+                    )
+                from repro.frameworks.feature_cache import GpuFeatureCache
+
                 with profiler.phase("data_movement"):
-                    fgraph.preload_to_gpu()
-            sampler = build_sampler(fw, fgraph, mode=mode, seed=seed)
-        else:
-            if placement in ("gpu", "uvagpu"):
-                raise BenchmarkError(
-                    f"{model} has no GPU/UVA sampler (paper: GraphSAGE-only)"
-                )
-            sampler = build_sampler(fw, fgraph, seed=seed)
-        net = build_model(fw, fgraph, seed=seed)
-        feature_cache = None
-        if feature_cache_fraction > 0:
-            if placement != "cpugpu" or preload:
-                raise BenchmarkError(
-                    "feature caching applies to the plain 'cpugpu' placement"
-                )
-            from repro.frameworks.feature_cache import GpuFeatureCache
+                    feature_cache = GpuFeatureCache(
+                        fgraph, fraction=feature_cache_fraction,
+                        policy=cache_policy, seed=seed,
+                    )
+                label = f"{label}+cache{int(100 * feature_cache_fraction)}"
+            trainer = MiniBatchTrainer(fw, fgraph, sampler, net, config,
+                                       profiler=profiler, label=label,
+                                       feature_cache=feature_cache)
+            run = trainer.run()
+            report = monitor.stop()
+            from repro.profiling.kernel_report import group_by_family
 
-            with profiler.phase("data_movement"):
-                feature_cache = GpuFeatureCache(
-                    fgraph, fraction=feature_cache_fraction,
-                    policy=cache_policy, seed=seed,
-                )
-            label = f"{label}+cache{int(100 * feature_cache_fraction)}"
-        trainer = MiniBatchTrainer(fw, fgraph, sampler, net, config,
-                                   profiler=profiler, label=label,
-                                   feature_cache=feature_cache)
-        run = trainer.run()
-        report = monitor.stop()
-        from repro.profiling.kernel_report import group_by_family
+            result = ExperimentResult(
+                label=label,
+                phases=run.phases,
+                energy=report,
+                losses=run.losses,
+                batches_per_epoch=run.batches_per_epoch,
+                kernel_families=group_by_family(machine),
+            )
+        except OutOfMemoryError as exc:
+            report = monitor.stop()
+            result = ExperimentResult(label=label, phases=profiler.snapshot(),
+                                      energy=report, oom=True, error=str(exc))
+        finally:
+            gc.collect()
+        if tsession is not None:
+            result.artifacts = _write_telemetry(
+                telemetry_dir, tsession, machine, result,
+                command="train", dataset=dataset, seed=seed,
+                config={
+                    "framework": framework,
+                    "model": model,
+                    "placement": placement,
+                    "preload": preload,
+                    "prefetch": prefetch,
+                    "epochs": epochs,
+                    "representative_batches": representative_batches,
+                    "monitor_interval": monitor_interval,
+                    "dataset_scale": dataset_scale,
+                    "feature_cache_fraction": feature_cache_fraction,
+                    "cache_policy": cache_policy,
+                    "num_workers": num_workers,
+                },
+            )
+        return result
 
-        return ExperimentResult(
-            label=label,
-            phases=run.phases,
-            energy=report,
-            losses=run.losses,
-            batches_per_epoch=run.batches_per_epoch,
-            kernel_families=group_by_family(machine),
-        )
-    except OutOfMemoryError as exc:
-        report = monitor.stop()
-        return ExperimentResult(label=label, phases=profiler.snapshot(),
-                                energy=report, oom=True, error=str(exc))
-    finally:
-        gc.collect()
+
+def _write_telemetry(out_dir: str, session: TelemetrySession, machine: Machine,
+                     result: ExperimentResult, *, command: str, dataset: str,
+                     seed: int, config: Dict[str, object]) -> Dict[str, str]:
+    """Build the run manifest and write the four-artifact bundle."""
+    from repro.telemetry.exporters import write_run_artifacts
+    from repro.telemetry.manifest import build_run_manifest
+
+    extra: Optional[Dict[str, Union[bool, str]]] = None
+    if result.oom:
+        extra = {"oom": True, "error": result.error}
+    manifest = build_run_manifest(
+        command=command,
+        label=result.label,
+        dataset=dataset,
+        seed=seed,
+        config=config,
+        phases=result.phases,
+        kernel_families=result.kernel_families,
+        session=session,
+        energy=result.energy,
+        extra=extra,
+    )
+    return write_run_artifacts(out_dir, session, machine.clock, manifest)
 
 
 def _label(framework: str, placement: str, preload: bool, prefetch: bool) -> str:

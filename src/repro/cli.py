@@ -85,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel sampling workers (0 = inline)")
     train.add_argument("--seed", type=int, default=0,
                        help="sampler/model RNG seed (default 0, deterministic)")
+    train.add_argument("--telemetry", default=None, metavar="DIR",
+                       help="write run.json/events.jsonl/metrics.prom/"
+                            "trace.json to DIR (per-dataset subdirs when "
+                            "multiple datasets are selected)")
 
     fullbatch = sub.add_parser("fullbatch", help="Figures 22-24: full-batch SAGE")
     fullbatch.add_argument("--framework", choices=FRAMEWORKS, default="dglite")
@@ -102,6 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results-dir", default="benchmarks/results")
     report.add_argument("--out", default=None,
                         help="write to this file instead of stdout")
+    report.add_argument("--telemetry", default=None, metavar="DIR",
+                        help="validate and summarize a telemetry output "
+                             "directory instead of aggregating result tables")
 
     suite = sub.add_parser("suite", help="run a JSON experiment suite")
     suite.add_argument("path", help="suite JSON file (list of specs)")
@@ -161,12 +168,20 @@ def cmd_conv(datasets: List[str], kind: str, device: str) -> None:
 
 def cmd_train(args: argparse.Namespace) -> None:
     for ds in args.dataset:
+        telemetry_dir = None
+        if args.telemetry:
+            telemetry_dir = args.telemetry
+            if len(args.dataset) > 1:
+                from pathlib import Path
+
+                telemetry_dir = str(Path(args.telemetry) / ds)
         result = run_training_experiment(
             args.framework, ds, args.model, placement=args.placement,
             preload=args.preload, prefetch=args.prefetch, epochs=args.epochs,
             feature_cache_fraction=args.cache_fraction,
             num_workers=args.workers,
             seed=args.seed,
+            telemetry_dir=telemetry_dir,
         )
         print(f"\n{result.label} / {args.model} / {ds} "
               f"({args.epochs} epochs, {result.batches_per_epoch} batches/epoch)")
@@ -177,6 +192,10 @@ def cmd_train(args: argparse.Namespace) -> None:
         print(f"  {'total':<15}{result.total_time:>10.2f}s")
         print(f"  avg power {result.avg_power:.1f} W, "
               f"energy {result.total_energy:.1f} J")
+        if result.artifacts:
+            print("  telemetry:")
+            for name in sorted(result.artifacts):
+                print(f"    {name:<10}{result.artifacts[name]}")
 
 
 def cmd_fullbatch(args: argparse.Namespace) -> None:
@@ -194,10 +213,48 @@ def cmd_fullbatch(args: argparse.Namespace) -> None:
               f"energy {result.total_energy:.1f} J")
 
 
+def cmd_telemetry_report(out_dir: str) -> int:
+    """Validate a telemetry bundle and print the run summary."""
+    from pathlib import Path
+
+    from repro.telemetry.manifest import load_run_manifest, validate_run_dir
+
+    problems = validate_run_dir(out_dir)
+    if problems:
+        print(f"{len(problems)} schema problem(s) in {out_dir}:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    manifest = load_run_manifest(Path(out_dir) / "run.json")
+    print(f"{manifest['label']} / {manifest['dataset']} "
+          f"(command={manifest['command']}, seed={manifest['seed']})")
+    for phase in PHASES:
+        seconds = manifest["phases"].get(phase, 0.0)
+        fraction = manifest["phase_fractions"].get(phase, 0.0)
+        print(f"  {phase:<15}{seconds:>10.2f}s {100 * fraction:>5.1f}%")
+    print(f"  {'total':<15}{manifest['total_seconds']:>10.2f}s")
+    spans = manifest["spans"]
+    print(f"  spans: {spans['count']} ({spans['phase_spans']} phase, "
+          f"max depth {spans['max_depth']}); metrics: {len(manifest['metrics'])}")
+    energy = manifest.get("energy")
+    if energy:
+        print(f"  energy {energy['total_joules']:.1f} J, "
+              f"avg power {energy['avg_power_w']:.1f} W, "
+              f"peak {energy['peak_power_w']:.1f} W")
+        for rail in ("cpu", "gpu"):
+            stats = energy[f"{rail}_power_w"]
+            print(f"  {rail} power  p50 {stats['p50']:.1f} W, "
+                  f"p95 {stats['p95']:.1f} W, peak {stats['peak']:.1f} W")
+    print(f"telemetry bundle OK: {out_dir}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Concatenate every emitted result table into one report."""
     from pathlib import Path
 
+    if args.telemetry:
+        return cmd_telemetry_report(args.telemetry)
     results_dir = Path(args.results_dir)
     files = sorted(results_dir.glob("*.txt"))
     if not files:

@@ -28,6 +28,7 @@ from repro.sampling.base import BlockSample, SubgraphSample
 from repro.sampling.cluster import ClusterSampler
 from repro.sampling.neighbor import NeighborSampler
 from repro.sampling.randomwalk import RandomWalkSampler
+from repro.telemetry import runtime as telemetry
 from repro.tensor.context import use_profile
 from repro.tensor.tensor import Tensor
 
@@ -259,6 +260,13 @@ class _SamplerWrapper:
         """Convert sampler work items into charged device time."""
         machine = self.machine
         profile = self.framework.profile
+        registry = telemetry.metrics()
+        if registry is not None:
+            labels = {"framework": self.framework.name, "kind": self.kind,
+                      "mode": self.mode}
+            registry.counter("sampler.batches", **labels).inc()
+            registry.counter("sampler.items", **labels).inc(items)
+            registry.counter("sampler.fetch_bytes", **labels).inc(fetch_bytes)
         if self.mode == "cpu":
             costs = profile.sampler_costs(self.kind)
             seconds = costs.per_batch + items * costs.per_item
@@ -318,6 +326,14 @@ class _BlockSamplerWrapper(_SamplerWrapper):
         self._charge_sampling(
             sample.work.items, sample.work.fetch_bytes, hops=self._hops()
         )
+        registry = telemetry.metrics()
+        if registry is not None:
+            labels = {"kind": self.kind}
+            edges = registry.histogram("sampler.block_edges", **labels)
+            nodes = registry.histogram("sampler.block_nodes", **labels)
+            for block in sample.blocks:
+                edges.observe(block.src.size)
+                nodes.observe(block.dst_nodes.size)
         device = self._feature_device()
         graph = self.fgraph.graph
         adjs = [
@@ -388,6 +404,11 @@ class _SubgraphSamplerWrapper(_SamplerWrapper):
 
     def _assemble(self, sample: SubgraphSample) -> FrameworkBatch:
         self._charge_sampling(sample.work.items, sample.work.fetch_bytes)
+        registry = telemetry.metrics()
+        if registry is not None:
+            labels = {"kind": self.kind}
+            registry.histogram("sampler.subgraph_edges", **labels).observe(sample.src.size)
+            registry.histogram("sampler.subgraph_nodes", **labels).observe(sample.num_nodes)
         device = self._feature_device()
         graph = self.fgraph.graph
         adj = SparseAdj(

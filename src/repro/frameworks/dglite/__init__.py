@@ -18,6 +18,7 @@ Design choices mirrored from DGL v0.8.2:
 from repro.frameworks.base import Framework
 from repro.frameworks.profiles import DGLITE_PROFILE
 from repro.frameworks.dglite import nn
+from repro.telemetry import runtime as telemetry
 
 
 class DGLite(Framework):
@@ -45,6 +46,10 @@ class DGLite(Framework):
         """Instantiate one of the eight benchmarked conv layers."""
         if kind not in self._CONVS:
             raise KeyError(f"unknown conv kind {kind!r}")
+        registry = telemetry.metrics()
+        if registry is not None:
+            registry.counter("framework.conv_built",
+                             framework=self.name, kind=kind).inc()
         return self._CONVS[kind](in_features, out_features, **kwargs)
 
 

@@ -25,6 +25,7 @@ import numpy as np
 from repro.errors import DeviceError
 from repro.frameworks.base import FrameworkGraph
 from repro.graph.formats import INDEX_DTYPE
+from repro.telemetry import runtime as telemetry
 
 POLICIES = ("degree", "random")
 
@@ -90,8 +91,14 @@ class GpuFeatureCache:
         """
         mask = self.hit_mask(nodes)
         hits = int(mask.sum())
+        misses = int(mask.size - hits)
         self.hits += hits
-        self.misses += int(mask.size - hits)
+        self.misses += misses
+        registry = telemetry.metrics()
+        if registry is not None:
+            labels = {"policy": self.policy}
+            registry.counter("feature_cache.hits", **labels).inc(hits)
+            registry.counter("feature_cache.misses", **labels).inc(misses)
         return mask
 
     def hit_rate(self) -> float:

@@ -8,6 +8,7 @@ from typing import Dict, Optional
 from repro.hardware.memory import MemoryLedger
 from repro.hardware.specs import DeviceSpec
 from repro.simtime import VirtualClock
+from repro.telemetry import runtime as telemetry
 
 
 @dataclass(frozen=True)
@@ -94,6 +95,14 @@ class Device:
         seconds = self.kernel_time(cost)
         self.clock.occupy(self.name, seconds, tag=cost.name)
         self.counters.record(cost, seconds)
+        registry = telemetry.metrics()
+        if registry is not None:
+            labels = {"device": self.name, "kernel": cost.name}
+            registry.counter("kernel.invocations", **labels).inc(cost.launches)
+            if cost.flops:
+                registry.counter("kernel.flops", **labels).inc(cost.flops)
+            if cost.bytes_moved:
+                registry.counter("kernel.bytes_moved", **labels).inc(cost.bytes_moved)
         return seconds
 
     def busy_fraction(self, start: float = 0.0, end: Optional[float] = None) -> float:

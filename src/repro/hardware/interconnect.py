@@ -7,6 +7,7 @@ from typing import Dict
 
 from repro.hardware.specs import LinkSpec
 from repro.simtime import VirtualClock
+from repro.telemetry import runtime as telemetry
 
 
 @dataclass
@@ -50,6 +51,7 @@ class Interconnect:
         self.counters.bytes_h2d += nbytes
         self.counters.seconds += seconds
         self.counters.by_tag[tag] = self.counters.by_tag.get(tag, 0.0) + seconds
+        self._record_metrics("h2d", tag, nbytes)
         return seconds
 
     def d2h(self, nbytes: float, tag: str = "d2h") -> float:
@@ -60,7 +62,15 @@ class Interconnect:
         self.counters.bytes_d2h += nbytes
         self.counters.seconds += seconds
         self.counters.by_tag[tag] = self.counters.by_tag.get(tag, 0.0) + seconds
+        self._record_metrics("d2h", tag, nbytes)
         return seconds
+
+    def _record_metrics(self, direction: str, tag: str, nbytes: float) -> None:
+        registry = telemetry.metrics()
+        if registry is not None:
+            registry.counter("pcie.bytes", direction=direction, tag=tag).inc(nbytes)
+            registry.counter("pcie.transfers", direction=direction, tag=tag).inc()
+            registry.histogram("pcie.transfer_bytes", direction=direction).observe(nbytes)
 
     def uva_read_time(self, nbytes: float) -> float:
         """Duration for the GPU to read ``nbytes`` from pinned host memory."""
@@ -71,3 +81,6 @@ class Interconnect:
     def record_uva(self, nbytes: float) -> None:
         """Account UVA traffic (time is charged by the GPU kernel itself)."""
         self.counters.bytes_uva += nbytes
+        registry = telemetry.metrics()
+        if registry is not None:
+            registry.counter("pcie.bytes", direction="uva", tag="uva").inc(nbytes)

@@ -17,6 +17,7 @@ from repro.hardware.specs import (
     PAPER_PCIE,
 )
 from repro.simtime import VirtualClock
+from repro.telemetry import runtime as telemetry
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,10 @@ class Machine:
             raise ValueError("negative read size")
         seconds = self.storage.seek_latency + nbytes / self.storage.read_bandwidth
         self.clock.occupy("storage", seconds, tag=tag)
+        registry = telemetry.metrics()
+        if registry is not None:
+            registry.counter("storage.bytes_read", tag=tag).inc(nbytes)
+            registry.counter("storage.reads", tag=tag).inc()
         return seconds
 
     def power_draw(self, device_key: str, start: float, end: float) -> float:

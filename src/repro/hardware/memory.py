@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
 from repro.errors import OutOfMemoryError
+from repro.telemetry import runtime as telemetry
 
 
 @dataclass
@@ -64,6 +65,7 @@ class MemoryLedger:
         self._live[alloc.handle] = alloc
         self._in_use += nbytes
         self._peak = max(self._peak, self._in_use)
+        self._record_metrics()
         return alloc
 
     def release(self, alloc: Allocation) -> None:
@@ -76,6 +78,15 @@ class MemoryLedger:
         stored = self._live.pop(alloc.handle, None)
         if stored is not None:
             self._in_use -= stored.nbytes
+            self._record_metrics()
+
+    def _record_metrics(self) -> None:
+        registry = telemetry.metrics()
+        if registry is not None:
+            registry.gauge("memory.in_use_bytes",
+                           device=self.device_name).set(self._in_use)
+            registry.gauge("memory.peak_bytes",
+                           device=self.device_name).set_max(self._peak)
 
     def release_all(self) -> None:
         """Free everything (used when an experiment tears down)."""

@@ -62,7 +62,7 @@ def _resolve_baseline_path(arg: Optional[str]) -> Optional[Path]:
 def cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule in RULES.values():
-            print(f"{rule.name:<14}{rule.severity:<9}{rule.description}")
+            print(f"{rule.name:<16}{rule.severity:<9}{rule.description}")
         return 0
 
     select = args.select.split(",") if args.select else None

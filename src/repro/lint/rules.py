@@ -488,3 +488,115 @@ class DtypeDriftRule(Rule):
                         "a float32 pipeline",
                         span=_expr_span(node),
                     )
+
+
+# ---------------------------------------------------------------------------
+# TELEMETRY-LEAK
+
+#: Metric classes that must be created through the MetricsRegistry.
+TELEMETRY_METRIC_CLASSES = {"Counter", "Gauge", "Histogram"}
+
+#: Span-opening context-manager factories.
+_SPAN_FACTORIES = {"span", "phase", "maybe_span"}
+
+
+def _telemetry_metric_imports(tree: ast.AST) -> tuple:
+    """(class name bindings, module aliases) for repro.telemetry imports.
+
+    Tracks both ``from repro.telemetry... import Counter [as C]`` (class
+    bindings) and ``from repro.telemetry import metrics as m`` / ``import
+    repro.telemetry.metrics as m`` (module aliases through which
+    ``m.Counter(...)`` still bypasses the registry).
+    """
+    classes: Dict[str, str] = {}
+    modules: set = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module \
+                and node.module.startswith("repro.telemetry"):
+            for alias in node.names:
+                if alias.name in TELEMETRY_METRIC_CLASSES:
+                    classes[alias.asname or alias.name] = alias.name
+                elif alias.name == "metrics":
+                    modules.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in ("repro.telemetry.metrics", "repro.telemetry"):
+                    modules.add(alias.asname or alias.name)
+    return classes, modules
+
+
+@register
+class TelemetryLeakRule(Rule):
+    name = "TELEMETRY-LEAK"
+    severity = "error"
+    description = ("telemetry bypassing its lifecycle: a span opened without "
+                   "a context manager (start_span, or a span()/phase()/"
+                   "maybe_span() result that is discarded) never closes and "
+                   "wedges the tracer stack; a Counter/Gauge/Histogram "
+                   "constructed directly instead of through the "
+                   "MetricsRegistry is invisible to every exporter")
+
+    def applies(self, ctx: FileContext) -> bool:
+        if not (ctx.module == "repro" or ctx.module.startswith("repro.")):
+            return False
+        # The telemetry package itself implements the lifecycle.
+        return not (ctx.module == "repro.telemetry"
+                    or ctx.module.startswith("repro.telemetry."))
+
+    def _is_discarded_statement(self, ctx: FileContext, node: ast.Call) -> bool:
+        parent = next(ctx.ancestors(node), None)
+        return isinstance(parent, ast.Expr)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        metric_imports, metric_modules = _telemetry_metric_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "start_span":
+                yield self.finding(
+                    ctx, node,
+                    "low-level start_span() outside the telemetry package; "
+                    "use `with tracer.span(...)` so the span always closes",
+                    span=_expr_span(node),
+                )
+                continue
+            if isinstance(func, ast.Attribute) and func.attr in _SPAN_FACTORIES \
+                    and self._is_discarded_statement(ctx, node):
+                yield self.finding(
+                    ctx, node,
+                    f"{func.attr}() result discarded; the span context manager "
+                    "must be entered (`with ...:`) or it never opens/closes",
+                    span=_expr_span(node),
+                )
+                continue
+            if isinstance(func, ast.Name) and func.id == "maybe_span" \
+                    and self._is_discarded_statement(ctx, node):
+                yield self.finding(
+                    ctx, node,
+                    "maybe_span() result discarded; enter it with `with ...:`",
+                    span=_expr_span(node),
+                )
+                continue
+            name = dotted_name(func)
+            if isinstance(func, ast.Name) and func.id in metric_imports:
+                yield self.finding(
+                    ctx, node,
+                    f"direct {metric_imports[func.id]}() construction bypasses "
+                    "the MetricsRegistry; use registry.counter()/gauge()/"
+                    "histogram() so exporters see the metric",
+                    span=_expr_span(node),
+                )
+            elif name and "." in name:
+                head, leaf = name.rsplit(".", 1)
+                if leaf in TELEMETRY_METRIC_CLASSES \
+                        and (head in metric_modules
+                             or head.endswith("telemetry.metrics")
+                             or head.endswith("telemetry")):
+                    yield self.finding(
+                        ctx, node,
+                        f"direct {leaf}() construction bypasses the "
+                        "MetricsRegistry; use registry.counter()/gauge()/"
+                        "histogram() so exporters see the metric",
+                        span=_expr_span(node),
+                    )

@@ -21,6 +21,8 @@ from repro.hardware.machine import Machine
 from repro.kernels.transfer import adj_to_device, to_device
 from repro.models.base import make_loss
 from repro.profiling.profiler import PhaseProfiler
+from repro.telemetry import runtime as telemetry
+from repro.telemetry.runtime import maybe_span
 from repro.tensor.module import Module
 from repro.tensor.optim import Adam
 from repro.tensor.tensor import Tensor
@@ -303,63 +305,75 @@ class MiniBatchTrainer:
         executed = 0
 
         prev_train_dt = 0.0
-        for _ in range(config.epochs):
+        for epoch in range(config.epochs):
             batch_iter = iter(self.sampler.epoch())
             phase_usage: Dict[str, Dict[str, float]] = {}
             phase_wall: Dict[str, float] = {}
             ran = 0
-            for _ in range(reps):
-                if config.num_workers > 0:
-                    batch = self._sample_with_workers(
-                        batch_iter, prev_train_dt if ran > 0 else 0.0,
-                        phase_usage, phase_wall,
-                    )
-                else:
-                    batch = self._timed_phase("sampling",
-                                              lambda: next(batch_iter, None),
-                                              phase_usage, phase_wall)
-                if batch is None:
-                    break
-                needs_move = config.trains_on_gpu and not config.samples_on_gpu
-                prefetching = (
-                    needs_move
-                    and config.prefetch
-                    and self.framework.profile.supports_prefetch
-                    and ran > 0  # the first batch of an epoch cannot overlap
-                )
-                if needs_move and not prefetching:
-                    self._timed_phase(
-                        "data_movement", lambda: self._move_batch(batch),
-                        phase_usage, phase_wall,
-                    )
-                elif prefetching:
-                    # Asynchronous pre-fetching: this batch's copy ran
-                    # behind the previous batch's compute.  Only the part
-                    # of the copy that exceeds one training step remains
-                    # visible as data movement.
-                    pending_move = self._movement_seconds(batch)
-                    self._relocate_silently(batch)
-                train_start = self.machine.clock.now
-                loss = self._timed_phase("training", lambda: self._train_step(batch),
-                                         phase_usage, phase_wall)
-                prev_train_dt = self.machine.clock.now - train_start
-                if prefetching:
-                    train_dt = self.machine.clock.now - train_start
-                    residual = max(0.0, pending_move - train_dt)
-                    if residual > 0:
-                        self._timed_phase(
-                            "data_movement",
-                            lambda: self.machine.clock.occupy("pcie", residual,
-                                                              tag="prefetch-residual"),
-                            phase_usage, phase_wall,
+            with maybe_span("train.epoch", epoch=epoch, label=self.label):
+                for _ in range(reps):
+                    with maybe_span("train.batch", index=ran):
+                        if config.num_workers > 0:
+                            batch = self._sample_with_workers(
+                                batch_iter, prev_train_dt if ran > 0 else 0.0,
+                                phase_usage, phase_wall,
+                            )
+                        else:
+                            batch = self._timed_phase("sampling",
+                                                      lambda: next(batch_iter, None),
+                                                      phase_usage, phase_wall)
+                        if batch is None:
+                            break
+                        needs_move = config.trains_on_gpu and not config.samples_on_gpu
+                        prefetching = (
+                            needs_move
+                            and config.prefetch
+                            and self.framework.profile.supports_prefetch
+                            and ran > 0  # the first batch of an epoch cannot overlap
                         )
-                losses.append(loss)
-                ran += 1
+                        if needs_move and not prefetching:
+                            self._timed_phase(
+                                "data_movement", lambda: self._move_batch(batch),
+                                phase_usage, phase_wall,
+                            )
+                        elif prefetching:
+                            # Asynchronous pre-fetching: this batch's copy ran
+                            # behind the previous batch's compute.  Only the part
+                            # of the copy that exceeds one training step remains
+                            # visible as data movement.
+                            pending_move = self._movement_seconds(batch)
+                            self._relocate_silently(batch)
+                        train_start = self.machine.clock.now
+                        loss = self._timed_phase("training",
+                                                 lambda: self._train_step(batch),
+                                                 phase_usage, phase_wall)
+                        prev_train_dt = self.machine.clock.now - train_start
+                        if prefetching:
+                            train_dt = self.machine.clock.now - train_start
+                            residual = max(0.0, pending_move - train_dt)
+                            if residual > 0:
+                                self._timed_phase(
+                                    "data_movement",
+                                    lambda: self.machine.clock.occupy(
+                                        "pcie", residual, tag="prefetch-residual"),
+                                    phase_usage, phase_wall,
+                                )
+                        losses.append(loss)
+                        ran += 1
             executed += ran
 
             remaining = num_batches - ran
             if remaining > 0 and ran > 0:
                 self._extrapolate(phase_usage, phase_wall, ran, remaining)
+
+        registry = telemetry.metrics()
+        if registry is not None:
+            labels = {"label": self.label}
+            registry.counter("trainer.epochs", **labels).inc(config.epochs)
+            registry.counter("trainer.batches_executed", **labels).inc(executed)
+            registry.counter("trainer.batches_extrapolated", **labels).inc(
+                config.epochs * num_batches - executed
+            )
 
         return RunResult(
             label=self.label,

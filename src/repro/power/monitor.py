@@ -9,6 +9,7 @@ from (NVML instant power x interval), and reports totals and averages.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -46,6 +47,49 @@ class EnergyReport:
     @property
     def total_energy_wh(self) -> float:
         return self.total_energy / 3600.0
+
+    @property
+    def peak_power(self) -> float:
+        """Peak combined draw across aligned CPU+GPU samples (watts)."""
+        if not self.cpu_power_trace and not self.gpu_power_trace:
+            return 0.0
+        combined = {}
+        for sample in self.cpu_power_trace:
+            combined[sample.time] = combined.get(sample.time, 0.0) + sample.watts
+        for sample in self.gpu_power_trace:
+            combined[sample.time] = combined.get(sample.time, 0.0) + sample.watts
+        return max(combined.values())
+
+    def cpu_power_stats(self) -> dict:
+        """avg/p50/p95/peak of the CPU rail (watts)."""
+        return _power_stats(self.cpu_power_trace)
+
+    def gpu_power_stats(self) -> dict:
+        """avg/p50/p95/peak of the GPU rail (watts)."""
+        return _power_stats(self.gpu_power_trace)
+
+
+def _power_stats(trace: tuple) -> dict:
+    """Summary statistics over one rail's power samples.
+
+    Percentiles use the nearest-rank method on the sorted sample power
+    values, so the result is always an observed sample (deterministic,
+    no interpolation).
+    """
+    if not trace:
+        return {"avg": 0.0, "p50": 0.0, "p95": 0.0, "peak": 0.0}
+    watts = sorted(sample.watts for sample in trace)
+    n = len(watts)
+
+    def rank(q: float) -> float:
+        return watts[min(n - 1, max(0, math.ceil(q * n) - 1))]
+
+    return {
+        "avg": sum(watts) / n,
+        "p50": rank(0.50),
+        "p95": rank(0.95),
+        "peak": watts[-1],
+    }
 
 
 class EnergyMonitor:

@@ -1,11 +1,26 @@
-"""Phase profiler: attributes virtual time to the paper's four phases."""
+"""Phase profiler: attributes virtual time to the paper's four phases.
+
+Since the unified telemetry layer landed, ``PhaseProfiler`` is a thin
+compatibility shim over :class:`repro.telemetry.spans.SpanTracer`: each
+``phase(name)`` block opens a span with ``category="phase"`` and the
+accumulated per-phase seconds are the tracer's exclusive-time rollup.
+Phases may now nest — a nested phase's time is attributed to the inner
+phase only, so totals never double-count and flat usage reproduces the
+pre-telemetry numbers exactly (the acceptance bar is 1e-9 agreement).
+
+When a :func:`repro.telemetry.runtime` session is active on the *same*
+virtual clock, the profiler adopts the ambient tracer so its phase spans
+land in the session's exported artifacts; otherwise it owns a private
+tracer and behaves exactly as before.
+"""
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Optional
 
 from repro.simtime import VirtualClock
+from repro.telemetry import runtime
+from repro.telemetry.spans import PHASE_CATEGORY, SpanTracer
 
 #: The paper's runtime breakdown (Figures 6, 10, 14, 19, 21).
 PHASES = ("data_loading", "sampling", "data_movement", "training")
@@ -19,43 +34,39 @@ class PhaseProfiler:
     full epoch).
     """
 
-    def __init__(self, clock: VirtualClock) -> None:
+    def __init__(self, clock: VirtualClock,
+                 tracer: Optional[SpanTracer] = None) -> None:
         self.clock = clock
-        self._seconds: Dict[str, float] = {}
-        self._active: Optional[str] = None
+        if tracer is None:
+            ambient = runtime.tracer()
+            if ambient is not None and ambient.clock is clock:
+                tracer = ambient
+            else:
+                tracer = SpanTracer(clock)
+        self.tracer = tracer
 
-    @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        if self._active is not None:
-            raise RuntimeError(
-                f"phase {name!r} started while {self._active!r} is active"
-            )
-        self._active = name
-        start = self.clock.now
-        try:
-            yield
-        finally:
-            self._active = None
-            self._seconds[name] = self._seconds.get(name, 0.0) + (self.clock.now - start)
+    def phase(self, name: str):
+        """Measure a block as a phase span (nesting is allowed; nested
+        phase time is attributed exclusively to the inner phase)."""
+        return self.tracer.span(name, category=PHASE_CATEGORY)
 
     def add(self, name: str, seconds: float) -> None:
         """Credit ``seconds`` to a phase without touching the clock."""
-        if seconds < 0:
-            raise ValueError("cannot credit negative time")
-        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self.tracer.credit(name, seconds)
 
     def seconds(self, name: str) -> float:
-        return self._seconds.get(name, 0.0)
+        return self.tracer.phase_rollup().get(name, 0.0)
 
     @property
     def total(self) -> float:
-        return sum(self._seconds.values())
+        return sum(self.tracer.phase_rollup().values())
 
     def snapshot(self) -> Dict[str, float]:
-        return dict(self._seconds)
+        return self.tracer.phase_rollup()
 
     def fractions(self) -> Dict[str, float]:
-        total = self.total
+        rollup = self.tracer.phase_rollup()
+        total = sum(rollup.values())
         if total <= 0:
-            return {name: 0.0 for name in self._seconds}
-        return {name: secs / total for name, secs in self._seconds.items()}
+            return {name: 0.0 for name in rollup}
+        return {name: secs / total for name, secs in rollup.items()}

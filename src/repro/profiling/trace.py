@@ -22,11 +22,18 @@ def trace_events(clock: VirtualClock, time_unit: float = 1e6) -> List[dict]:
     """Busy intervals as Chrome 'complete' (ph=X) events.
 
     ``time_unit`` scales seconds into the trace's microsecond timestamps.
+    Lane (tid) assignment is deterministic: the well-known ``_LANES``
+    devices get fixed ids, remaining devices are numbered by sorted name
+    rather than first-seen order, so traces from two runs of the same
+    config diff cleanly.
     """
-    lanes = {}
+    lanes = {device: tid for tid, device in enumerate(_LANES)}
+    seen = {interval.device for interval in clock.busy_intervals()}
+    for device in sorted(seen - set(_LANES)):
+        lanes[device] = len(lanes)
 
     def lane_id(device: str) -> int:
-        if device not in lanes:
+        if device not in lanes:  # devices appearing mid-iteration
             lanes[device] = len(lanes)
         return lanes[device]
 

@@ -48,9 +48,9 @@ def run_rules(tmp_path, rel, source, select=None):
 # registry
 
 
-def test_registry_has_all_five_rules():
+def test_registry_has_all_rules():
     assert set(RULES) == {"HOTLOOP", "RNG-SEED", "INPLACE-GRAD",
-                          "PARAM-REG", "DTYPE-DRIFT"}
+                          "PARAM-REG", "DTYPE-DRIFT", "TELEMETRY-LEAK"}
     for rule in RULES.values():
         assert rule.severity in ("error", "warning")
         assert rule.description
@@ -460,6 +460,63 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for name in RULES:
         assert name in out
+
+
+# ---------------------------------------------------------------------------
+# TELEMETRY-LEAK
+
+
+def test_telemetry_leak_true_positives(tmp_path):
+    source = """
+        from repro.telemetry import Counter
+        from repro.telemetry.metrics import Histogram
+        from repro.telemetry import metrics as tmetrics
+
+        def f(tracer, profiler, registry):
+            span = tracer.start_span("work")        # no context manager
+            tracer.span("dangling")                 # CM result discarded
+            profiler.phase("sampling")              # CM result discarded
+            c = Counter("my.counter")               # bypasses the registry
+            h = Histogram("my.hist")                # bypasses the registry
+            g = tmetrics.Gauge("my.gauge")          # bypasses the registry
+            return span, c, h, g
+    """
+    findings = run_rules(tmp_path, "repro/models/leaky.py", source)
+    assert len(findings) == 6
+    assert all(f.rule == "TELEMETRY-LEAK" for f in findings)
+
+
+def test_telemetry_leak_true_negatives(tmp_path):
+    source = """
+        from collections import Counter
+        from repro.telemetry.runtime import maybe_span
+
+        def f(tracer, profiler, registry, words):
+            with tracer.span("work"):
+                pass
+            with profiler.phase("sampling"):
+                pass
+            with maybe_span("train.epoch") as span:
+                pass
+            c = registry.counter("sampler.items")   # registry path is fine
+            c.inc()
+            registry.histogram("pcie.transfer_bytes").observe(4096)
+            return Counter(words), span             # stdlib Counter untouched
+    """
+    assert run_rules(tmp_path, "repro/models/clean.py", source) == []
+
+
+def test_telemetry_leak_scoped_to_repro_and_exempts_telemetry(tmp_path):
+    leak = """
+        def f(tracer):
+            return tracer.start_span("internal")
+    """
+    # The telemetry package itself implements the lifecycle.
+    assert run_rules(tmp_path, "repro/telemetry/spans2.py", leak) == []
+    # Code outside the repro package is out of scope.
+    assert run_rules(tmp_path, "plain/other.py", leak) == []
+    # Anywhere else in repro it is flagged.
+    assert len(run_rules(tmp_path, "repro/models/bad.py", leak)) == 1
 
 
 # ---------------------------------------------------------------------------
