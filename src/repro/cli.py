@@ -236,6 +236,20 @@ def cmd_telemetry_report(out_dir: str) -> int:
     spans = manifest["spans"]
     print(f"  spans: {spans['count']} ({spans['phase_spans']} phase, "
           f"max depth {spans['max_depth']}); metrics: {len(manifest['metrics'])}")
+    fastpath = {}
+    for record in manifest["metrics"]:
+        if record["name"] in ("kernel.fastpath.hit", "kernel.fastpath.miss"):
+            path = record.get("labels", {}).get("path", "?")
+            key = "hit" if record["name"].endswith("hit") else "miss"
+            fastpath.setdefault(path, {"hit": 0, "miss": 0})[key] += record["value"]
+    if fastpath:
+        print("  kernel fast-path:")
+        for path in sorted(fastpath):
+            hits, misses = fastpath[path]["hit"], fastpath[path]["miss"]
+            total = hits + misses
+            rate = 100.0 * hits / total if total else 0.0
+            print(f"    {path:<16}{int(hits):>8} hit {int(misses):>8} miss "
+                  f"({rate:.1f}% fast)")
     energy = manifest.get("energy")
     if energy:
         print(f"  energy {energy['total_joules']:.1f} J, "

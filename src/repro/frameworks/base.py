@@ -336,8 +336,10 @@ class _BlockSamplerWrapper(_SamplerWrapper):
                 nodes.observe(block.dst_nodes.size)
         device = self._feature_device()
         graph = self.fgraph.graph
+        # Sampler blocks arrive relabeled and dst-grouped (block_locals /
+        # induced_subgraph order="dst"), so skip the canonicalizing argsort.
         adjs = [
-            SparseAdj(
+            SparseAdj.from_sorted_block(
                 block.src,
                 block.dst,
                 num_src=block.src_nodes.size,
@@ -411,7 +413,7 @@ class _SubgraphSamplerWrapper(_SamplerWrapper):
             registry.histogram("sampler.subgraph_nodes", **labels).observe(sample.num_nodes)
         device = self._feature_device()
         graph = self.fgraph.graph
-        adj = SparseAdj(
+        adj = SparseAdj.from_sorted_block(
             sample.src,
             sample.dst,
             num_src=sample.num_nodes,

@@ -12,13 +12,20 @@ from repro.tensor.tensor import FLOAT_DTYPE, Tensor
 
 
 def with_self_loops(adj: SparseAdj) -> SparseAdj:
-    """Square adjacency with one self-loop per node appended."""
+    """Square adjacency with one self-loop per node added.
+
+    Loop edges are merged at the end of each node's dst segment — a
+    single vectorized insert that keeps the edge list in canonical
+    (dst-sorted) order, exactly where the old append-then-argsort placed
+    them, so construction can take the argsort-free fast path.
+    """
     if adj.num_src != adj.num_dst:
         raise GraphFormatError("self-loops require a square adjacency")
     loops = np.arange(adj.num_dst, dtype=INDEX_DTYPE)
-    return SparseAdj(
-        np.concatenate([adj.src, loops]),
-        np.concatenate([adj.dst, loops]),
+    segment_ends = adj.indptr[1:]
+    return SparseAdj.from_sorted_block(
+        np.insert(adj.src, segment_ends, loops),
+        np.insert(adj.dst, segment_ends, loops),
         num_src=adj.num_src,
         num_dst=adj.num_dst,
         device=adj.device,
@@ -58,8 +65,7 @@ def neg_laplacian_weight(adj: SparseAdj) -> Tensor:
 
 def mean_norm_weight(adj: SparseAdj) -> Tensor:
     """Per-edge weight ``1 / d_in[dst]`` turning SpMM-sum into mean."""
-    deg = np.maximum(adj.in_degrees().astype(FLOAT_DTYPE), 1.0)
-    weight = (1.0 / deg)[adj.dst]
+    weight = adj.inv_in_degrees()[adj.dst]
     e_log = adj.logical_num_edges
     charge(adj.device, "mean_norm", "elementwise", flops=2.0 * e_log,
            bytes_moved=8.0 * e_log)

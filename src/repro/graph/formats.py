@@ -199,27 +199,42 @@ def gather_neighborhoods(
     return indices[positions], degrees, positions
 
 
-def induced_subgraph(csr: AdjacencyCSR, nodes: np.ndarray) -> Tuple[AdjacencyCOO, np.ndarray]:
+def induced_subgraph(
+    csr: AdjacencyCSR, nodes: np.ndarray, order: str = "src",
+) -> Tuple[AdjacencyCOO, np.ndarray]:
     """Node-induced subgraph with relabelled node ids.
 
     Returns the subgraph edge list (in local ids, ordered by the position
     of each node in ``nodes``) and the original edge ids kept.  ``nodes``
     must be duplicate-free.
 
+    ``order`` picks which endpoint the gathered CSR row becomes: with
+    ``"src"`` (the default) edges come out src-sorted; with ``"dst"`` the
+    row is the destination and edges come out **dst-sorted** — the
+    canonical :class:`~repro.kernels.adj.SparseAdj` order, so downstream
+    adjacency construction can skip its argsort.  For the symmetrized
+    graphs used throughout this repo the two orientations describe the
+    same edge set.
+
     Only the selected rows are touched: the members' neighbor lists are
     gathered in one vectorized pass and filtered by a membership lookup,
     so the cost is O(incident edges of ``nodes``), not O(all edges).
     """
+    if order not in ("src", "dst"):
+        raise ValueError("order must be 'src' or 'dst'")
     nodes = _as_index(nodes)
     mapping = np.full(csr.num_nodes, -1, dtype=INDEX_DTYPE)
     mapping[nodes] = np.arange(nodes.size, dtype=INDEX_DTYPE)
     neighbors, degrees, positions = gather_neighborhoods(
         csr.indptr, csr.indices, nodes
     )
-    local_dst = mapping[neighbors]
-    keep = local_dst >= 0
-    local_src = np.repeat(np.arange(nodes.size, dtype=INDEX_DTYPE), degrees)
-    sub = AdjacencyCOO(nodes.size, local_src[keep], local_dst[keep])
+    local_other = mapping[neighbors]
+    keep = local_other >= 0
+    local_owner = np.repeat(np.arange(nodes.size, dtype=INDEX_DTYPE), degrees)
+    if order == "src":
+        sub = AdjacencyCOO(nodes.size, local_owner[keep], local_other[keep])
+    else:
+        sub = AdjacencyCOO(nodes.size, local_other[keep], local_owner[keep])
     return sub, positions[keep]
 
 

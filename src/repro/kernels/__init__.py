@@ -12,10 +12,15 @@ talks about:
   primitives (GAT/GATv2), DGL's g-SDDMM path.
 
 Every kernel runs real numpy/scipy math and charges logical-scale roofline
-cost to the tensor's device under the active framework profile.
+cost to the tensor's device under the active framework profile.  The
+kernels keep two schedules for the same math — a ``reduceat``/CSR-reuse
+fast path and the naive ``np.add.at``/scipy-rebuild reference (toggled by
+:func:`use_reference_kernels`) — with identical charged cost either way;
+see :mod:`repro.kernels.config` and ``docs/kernels.md``.
 """
 
 from repro.kernels.adj import SparseAdj
+from repro.kernels.config import fastpath_enabled, use_reference_kernels
 from repro.kernels.spmm import spmm
 from repro.kernels.scatter import gather, scatter_add, scatter_mean
 from repro.kernels.sddmm import (
@@ -29,9 +34,11 @@ from repro.kernels.transfer import graph_bytes, to_device
 
 __all__ = [
     "SparseAdj",
+    "fastpath_enabled",
     "fused_gatv2_scores",
     "gather",
     "graph_bytes",
+    "use_reference_kernels",
     "scatter_add",
     "scatter_mean",
     "sddmm_u_add_v",

@@ -1,0 +1,47 @@
+"""Kernel fast-path toggle.
+
+The kernel layer keeps two numerically-equivalent implementations of every
+hot primitive:
+
+* the **fast path** — ``np.add.reduceat`` segment reduction over the
+  adjacency's dst-sorted edge order, in-place CSR ``.data`` swaps, cached
+  transpose structure / degrees, and the validated
+  :meth:`~repro.kernels.adj.SparseAdj.from_sorted_block` constructor;
+* the **reference path** — the straightforward ``np.add.at`` /
+  scipy-rebuild idioms the repo originally shipped.
+
+Both charge identical logical cost (``charge(...)`` depends only on
+logical edge/node counts, never on how the arithmetic was scheduled), so
+toggling affects wall-clock only.  The reference path stays in-tree so
+the equivalence suite and the ablation benchmark can diff the two at
+runtime, and so the paper-scale numbers are auditable against the naive
+formulation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_fastpath = True
+
+
+def fastpath_enabled() -> bool:
+    """True when the kernel fast paths are active (the default)."""
+    return _fastpath
+
+
+@contextmanager
+def use_reference_kernels() -> Iterator[None]:
+    """Run the enclosed block on the naive reference kernels.
+
+    Used by the equivalence tests and the ablation benchmark; nesting is
+    fine (the previous state is restored on exit).
+    """
+    global _fastpath
+    previous = _fastpath
+    _fastpath = False
+    try:
+        yield
+    finally:
+        _fastpath = previous

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.kernels.adj import SparseAdj
 from repro.tensor.context import charge
-from repro.tensor.tensor import FLOAT_DTYPE, Tensor
+from repro.tensor.tensor import Tensor
 
 
 def gather(adj: SparseAdj, x: Tensor, side: str = "src") -> Tensor:
@@ -40,9 +40,9 @@ def gather(adj: SparseAdj, x: Tensor, side: str = "src") -> Tensor:
 
     if out.requires_grad:
         def _backward() -> None:
-            grad = np.zeros_like(x.data, dtype=FLOAT_DTYPE)
-            np.add.at(grad, index, out.grad)
-            x._accumulate(grad)
+            # Segment-reduce fast path (reduceat over sorted edge order)
+            # with the np.add.at reference behind use_reference_kernels().
+            x._accumulate(adj.sum_edges(out.grad, side=side))
             charge(adj.device, "gather.bwd", "scatter", flops=adj.logical_num_edges * feat_width,
                    bytes_moved=2.0 * moved)
         out._backward = _backward
@@ -53,9 +53,7 @@ def scatter_add(adj: SparseAdj, messages: Tensor) -> Tensor:
     """Reduce per-edge messages to destinations: ``out[d] += msg[e]``."""
     if messages.shape[0] != adj.num_edges:
         raise ValueError("messages must have one row per edge")
-    out_shape = (adj.num_dst,) + messages.shape[1:]
-    out_data = np.zeros(out_shape, dtype=FLOAT_DTYPE)
-    np.add.at(out_data, adj.dst, messages.data)
+    out_data = adj.sum_edges(messages.data, side="dst")
     out = Tensor(
         out_data,
         device=adj.device,
@@ -79,11 +77,14 @@ def scatter_add(adj: SparseAdj, messages: Tensor) -> Tensor:
 
 
 def scatter_mean(adj: SparseAdj, messages: Tensor) -> Tensor:
-    """Mean-reduce per-edge messages to destinations (degree-normalized)."""
+    """Mean-reduce per-edge messages to destinations (degree-normalized).
+
+    The inverse-degree vector is served from the adjacency's cache — a
+    reshape view, not a fresh allocation per call.
+    """
     total = scatter_add(adj, messages)
-    degrees = np.maximum(adj.in_degrees(), 1).astype(FLOAT_DTYPE)
     inv = Tensor(
-        (1.0 / degrees).reshape((adj.num_dst,) + (1,) * (total.ndim - 1)),
+        adj.inv_in_degrees().reshape((adj.num_dst,) + (1,) * (total.ndim - 1)),
         device=adj.device,
         work_scale=adj.node_scale,
         _owns_memory=False,

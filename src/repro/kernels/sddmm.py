@@ -39,13 +39,9 @@ def sddmm_u_add_v(adj: SparseAdj, u_feat: Tensor, v_feat: Tensor,
     if out.requires_grad:
         def _backward() -> None:
             if u_feat.requires_grad:
-                grad_u = np.zeros_like(u_feat.data, dtype=FLOAT_DTYPE)
-                np.add.at(grad_u, adj.src, out.grad)
-                u_feat._accumulate(grad_u)
+                u_feat._accumulate(adj.sum_edges(out.grad, side="src"))
             if v_feat.requires_grad:
-                grad_v = np.zeros_like(v_feat.data, dtype=FLOAT_DTYPE)
-                np.add.at(grad_v, adj.dst, out.grad)
-                v_feat._accumulate(grad_v)
+                v_feat._accumulate(adj.sum_edges(out.grad, side="dst"))
             charge(adj.device, "sddmm_u_add_v.bwd", family, flops=e_log * width,
                    bytes_moved=4.0 * 3.0 * e_log * width)
         out._backward = _backward
@@ -77,13 +73,13 @@ def sddmm_u_dot_v(adj: SparseAdj, u_feat: Tensor, v_feat: Tensor,
     if out.requires_grad:
         def _backward() -> None:
             if u_feat.requires_grad:
-                grad_u = np.zeros_like(u_feat.data, dtype=FLOAT_DTYPE)
-                np.add.at(grad_u, adj.src, out.grad[:, :, None] * v_feat.data[adj.dst])
-                u_feat._accumulate(grad_u)
+                u_feat._accumulate(
+                    adj.sum_edges(out.grad[:, :, None] * v_feat.data[adj.dst], side="src")
+                )
             if v_feat.requires_grad:
-                grad_v = np.zeros_like(v_feat.data, dtype=FLOAT_DTYPE)
-                np.add.at(grad_v, adj.dst, out.grad[:, :, None] * u_feat.data[adj.src])
-                v_feat._accumulate(grad_v)
+                v_feat._accumulate(
+                    adj.sum_edges(out.grad[:, :, None] * u_feat.data[adj.src], side="dst")
+                )
             charge(adj.device, "sddmm_u_dot_v.bwd", family,
                    flops=4.0 * e_log * heads * dim,
                    bytes_moved=4.0 * 4.0 * e_log * heads * dim)
@@ -128,13 +124,9 @@ def fused_gatv2_scores(adj: SparseAdj, u_feat: Tensor, v_feat: Tensor,
             # d activated[e,h,d] = out.grad[e,h] * att[h,d] * slope[e,h,d]
             grad_act = out.grad[:, :, None] * att.data[None, :, :] * slope
             if u_feat.requires_grad:
-                grad_u = np.zeros_like(u_feat.data, dtype=FLOAT_DTYPE)
-                np.add.at(grad_u, adj.src, grad_act)
-                u_feat._accumulate(grad_u)
+                u_feat._accumulate(adj.sum_edges(grad_act, side="src"))
             if v_feat.requires_grad:
-                grad_v = np.zeros_like(v_feat.data, dtype=FLOAT_DTYPE)
-                np.add.at(grad_v, adj.dst, grad_act)
-                v_feat._accumulate(grad_v)
+                v_feat._accumulate(adj.sum_edges(grad_act, side="dst"))
             if att.requires_grad:
                 att._accumulate(
                     np.einsum("ehd,eh->hd", activated, out.grad).astype(FLOAT_DTYPE)
@@ -152,13 +144,11 @@ def segment_softmax(adj: SparseAdj, scores: Tensor, family: str = "sddmm") -> Te
         raise ValueError("scores must have one row per edge")
     dst = adj.dst
     width_shape = scores.shape[1:]
-    # Per-destination max for numerical stability.
-    max_buf = np.full((adj.num_dst,) + width_shape, -np.inf, dtype=FLOAT_DTYPE)
-    np.maximum.at(max_buf, dst, scores.data)
+    # Per-destination max for numerical stability (reduceat fast path).
+    max_buf = adj.max_edges(scores.data)
     shifted = scores.data - max_buf[dst]
     exp = np.exp(shifted).astype(FLOAT_DTYPE)
-    sum_buf = np.zeros((adj.num_dst,) + width_shape, dtype=FLOAT_DTYPE)
-    np.add.at(sum_buf, dst, exp)
+    sum_buf = adj.sum_edges(exp, side="dst")
     out_data = exp / np.maximum(sum_buf[dst], np.finfo(FLOAT_DTYPE).tiny)
     out = Tensor(
         out_data,
@@ -176,8 +166,7 @@ def segment_softmax(adj: SparseAdj, scores: Tensor, family: str = "sddmm") -> Te
     if out.requires_grad:
         def _backward() -> None:
             weighted = out.grad * out.data
-            dot_buf = np.zeros((adj.num_dst,) + width_shape, dtype=FLOAT_DTYPE)
-            np.add.at(dot_buf, dst, weighted)
+            dot_buf = adj.sum_edges(weighted, side="dst")
             scores._accumulate(weighted - out.data * dot_buf[dst])
             charge(adj.device, "segment_softmax.bwd", family, flops=4.0 * e_log * width,
                    bytes_moved=4.0 * 4.0 * e_log * width)

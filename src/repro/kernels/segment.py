@@ -27,9 +27,9 @@ def segment_max(adj: SparseAdj, values: Tensor, family: str = "scatter") -> Tens
     """Max-reduce per-edge values by destination (max-pool aggregators)."""
     if values.shape[0] != adj.num_edges:
         raise ValueError("values must have one row per edge")
-    out_shape = (adj.num_dst,) + values.shape[1:]
-    out_data = np.full(out_shape, -np.inf, dtype=FLOAT_DTYPE)
-    np.maximum.at(out_data, adj.dst, values.data)
+    # maximum.reduceat fast path over the dst-sorted edge order (reference
+    # maximum.at scatter behind use_reference_kernels()).
+    out_data = adj.max_edges(values.data)
     isolated = ~np.isfinite(out_data)
     out_data[isolated] = 0.0
     out = Tensor(

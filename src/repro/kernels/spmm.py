@@ -3,6 +3,10 @@
 This is DGL's ``update_all`` kernel and PyG's ``matmul(SparseTensor, X)``
 fast path.  One kernel aggregates messages without materializing them, so
 its working set is O(E + N*F) — never O(E*F).
+
+Weighted forward/backward calls go through the adjacency's reusable CSR
+structure (in-place ``.data`` swap, cached transpose) — no scipy matrix is
+rebuilt per call; see :mod:`repro.kernels.adj`.
 """
 
 from __future__ import annotations

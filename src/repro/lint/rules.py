@@ -21,6 +21,11 @@ paper's magnifying-glass profiling attributes framework slowdowns to:
 * **DTYPE-DRIFT** — explicit promotion to float64 in hot-path packages;
   doubles GEMM/SpMM bytes and flops against the float32 feature tensors
   the whole cost model assumes.
+* **ADD-AT** — ``np.add.at`` / ``np.subtract.at`` buffered scatter in the
+  kernel-path packages; 10-50x slower than ``reduceat`` segment reduction
+  over the adjacency's sorted edge order (PR 4's fast-path layer).  The
+  deliberate reference fallbacks behind ``use_reference_kernels()`` carry
+  justified suppressions.
 
 All detection is purely syntactic (``ast``); rules accept rare false
 positives, to be silenced with a justified inline suppression, in
@@ -488,6 +493,55 @@ class DtypeDriftRule(Rule):
                         "a float32 pipeline",
                         span=_expr_span(node),
                     )
+
+
+# ---------------------------------------------------------------------------
+# ADD-AT
+
+#: Packages where an unbuffered-scatter ufunc `.at` call sits on the
+#: kernel path.  Narrower than HOT_PATH_PACKAGES: sampling has no segment
+#: structure to reduce over, so the rule doesn't apply there.
+ADD_AT_PACKAGES = (
+    "repro.kernels",
+    "repro.frameworks",
+    "repro.tensor",
+)
+
+#: ufuncs whose ``.at`` form the fast-path layer replaces with reduceat.
+_SCATTER_UFUNCS = {"add", "subtract"}
+
+
+@register
+class AddAtRule(Rule):
+    name = "ADD-AT"
+    severity = "error"
+    description = ("np.add.at/np.subtract.at scatter in a kernel-path "
+                   "package; ufunc.at is 10-50x slower than reduceat segment "
+                   "reduction over SparseAdj's sorted edge order — use "
+                   "adj.sum_edges()/adj.max_edges() (suppress with a "
+                   "justification where the unsorted fallback is deliberate)")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return any(
+            ctx.module == pkg or ctx.module.startswith(pkg + ".")
+            for pkg in ADD_AT_PACKAGES
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            parts = name.split(".")
+            if len(parts) >= 3 and parts[-1] == "at" \
+                    and parts[-2] in _SCATTER_UFUNCS:
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() is a buffered per-index scatter; edges are "
+                    "dst-sorted here, so use reduceat-based segment "
+                    "reduction (adj.sum_edges) instead",
+                    span=_expr_span(node),
+                )
 
 
 # ---------------------------------------------------------------------------

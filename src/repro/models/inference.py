@@ -21,7 +21,9 @@ import numpy as np
 
 from repro.errors import BenchmarkError
 from repro.frameworks.base import Framework, FrameworkGraph
+from repro.graph.formats import INDEX_DTYPE, gather_neighborhoods
 from repro.kernels.adj import SparseAdj
+from repro.sampling.relabel import block_locals
 from repro.kernels.transfer import to_device
 from repro.profiling.profiler import PhaseProfiler
 from repro.tensor import functional as F
@@ -94,21 +96,24 @@ def layerwise_inference(
 
 
 def _chunk_block(graph, rows: np.ndarray, device) -> SparseAdj:
-    """Bipartite block: every in-edge of ``rows`` (dst-prefix layout)."""
-    indptr = graph.adj.indptr
-    indices = graph.adj.indices
-    srcs = [indices[indptr[r]:indptr[r + 1]] for r in rows]
-    dsts = [np.full(s.size, i, dtype=np.int64) for i, s in enumerate(srcs)]
-    src_global = (np.concatenate(srcs) if srcs else np.empty(0, dtype=np.int64))
-    dst_local = (np.concatenate(dsts) if dsts else np.empty(0, dtype=np.int64))
-    extra = np.setdiff1d(np.unique(src_global), rows)
-    src_nodes = np.concatenate([rows, extra])
-    lookup = {int(n): i for i, n in enumerate(src_nodes)}
-    src_local = np.fromiter((lookup[int(s)] for s in src_global),
-                            count=src_global.size, dtype=np.int64)
-    adj = SparseAdj(src_local, dst_local, num_src=src_nodes.size,
-                    num_dst=rows.size, device=device,
-                    node_scale=graph.node_scale, edge_scale=graph.edge_scale)
+    """Bipartite block: every in-edge of ``rows`` (dst-prefix layout).
+
+    One vectorized CSR gather + the shared relabel machinery — no
+    per-row slicing or dict probes — and the per-row grouping means the
+    edge list is already dst-sorted, so adjacency construction skips its
+    argsort via ``from_sorted_block``.
+    """
+    src_global, degrees, _ = gather_neighborhoods(
+        graph.adj.indptr, graph.adj.indices, rows
+    )
+    dst_local = np.repeat(np.arange(rows.size, dtype=INDEX_DTYPE), degrees)
+    src_nodes, src_local, _ = block_locals(
+        src_global, np.empty(0, dtype=INDEX_DTYPE), rows
+    )
+    adj = SparseAdj.from_sorted_block(
+        src_local, dst_local, num_src=src_nodes.size,
+        num_dst=rows.size, device=device,
+        node_scale=graph.node_scale, edge_scale=graph.edge_scale)
     adj.src_nodes = src_nodes  # stashed for feature lookup
     return adj
 

@@ -85,7 +85,9 @@ class ClusterSampler:
         nodes = np.nonzero(member_mask)[0].astype(INDEX_DTYPE)
         if nodes.size == 0:
             raise SamplerError("selected clusters are empty")
-        sub_coo, _ = induced_subgraph(self.graph.adj, nodes)
+        # order="dst" emits dst-sorted edges (SparseAdj canonical order)
+        # so assembly can use the argsort-free from_sorted_block path.
+        sub_coo, _ = induced_subgraph(self.graph.adj, nodes, order="dst")
 
         node_scale = self.graph.node_scale
         # Paper-scale batch edges: the batch covers q/P of the clusters,

@@ -79,7 +79,9 @@ class RandomWalkSampler:
             raise SamplerError("cannot walk from an empty root set")
         path = self.walk(roots)
         nodes = np.unique(path)
-        sub_coo, _ = induced_subgraph(self.graph.adj, nodes)
+        # order="dst" emits dst-sorted edges (SparseAdj canonical order)
+        # so assembly can use the argsort-free from_sorted_block path.
+        sub_coo, _ = induced_subgraph(self.graph.adj, nodes, order="dst")
 
         node_scale = self.graph.node_scale
         edge_scale = self.graph.edge_scale

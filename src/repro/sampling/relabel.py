@@ -112,6 +112,15 @@ def block_locals(
     duplicate-free.  A single ``np.unique(..., return_inverse=True)`` over
     the concatenated ids yields the node set and the src relabeling in one
     sort; dst ids resolve through the same sorted array.
+
+    Sortedness contract: when ``dst_global`` arrives grouped by
+    ``dst_nodes`` in order (every sampler in this repo emits edges that
+    way), ``dst_local`` is non-decreasing — i.e. the edges are already in
+    :class:`~repro.kernels.adj.SparseAdj`'s canonical dst-sorted order,
+    and the block builders may construct the adjacency through the
+    argsort-free ``SparseAdj.from_sorted_block``.  Outputs are relabeled
+    and in-range by construction, which is what lets that constructor
+    skip full bounds re-validation.
     """
     src_global = np.asarray(src_global, dtype=INDEX_DTYPE)
     dst_global = np.asarray(dst_global, dtype=INDEX_DTYPE)

@@ -44,7 +44,9 @@ class SaintNodeSampler:
         nodes = np.unique(
             self.rng.choice(self.graph.num_nodes, size=size, p=self._probs)
         ).astype(INDEX_DTYPE)
-        sub_coo, _ = induced_subgraph(self.graph.adj, nodes)
+        # order="dst" emits edges in SparseAdj's canonical order so block
+        # assembly can use the argsort-free from_sorted_block constructor.
+        sub_coo, _ = induced_subgraph(self.graph.adj, nodes, order="dst")
         node_scale = self.graph.node_scale
         edge_scale = self.graph.edge_scale
         work = SampleWork(
@@ -90,7 +92,7 @@ class SaintEdgeSampler:
         nodes = np.unique(
             np.concatenate([self._src[picked], self._dst[picked]])
         ).astype(INDEX_DTYPE)
-        sub_coo, _ = induced_subgraph(self.graph.adj, nodes)
+        sub_coo, _ = induced_subgraph(self.graph.adj, nodes, order="dst")
         node_scale = self.graph.node_scale
         edge_scale = self.graph.edge_scale
         work = SampleWork(

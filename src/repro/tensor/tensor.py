@@ -364,7 +364,9 @@ class Tensor:
         if out.requires_grad:
             def _backward() -> None:
                 grad = np.zeros_like(self.data, dtype=FLOAT_DTYPE)
-                np.add.at(grad, index, out.grad)
+                # Arbitrary caller-supplied index: no sorted-segment
+                # structure to reduceat over.
+                np.add.at(grad, index, out.grad)  # repro-lint: disable=ADD-AT generic unsorted index
                 self._accumulate(grad)
                 charge(out.device, "index_select.bwd", "index", bytes_moved=2 * moved,
                        scale=out.work_scale)

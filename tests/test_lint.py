@@ -50,7 +50,8 @@ def run_rules(tmp_path, rel, source, select=None):
 
 def test_registry_has_all_rules():
     assert set(RULES) == {"HOTLOOP", "RNG-SEED", "INPLACE-GRAD",
-                          "PARAM-REG", "DTYPE-DRIFT", "TELEMETRY-LEAK"}
+                          "PARAM-REG", "DTYPE-DRIFT", "TELEMETRY-LEAK",
+                          "ADD-AT"}
     for rule in RULES.values():
         assert rule.severity in ("error", "warning")
         assert rule.description
@@ -269,6 +270,58 @@ def test_dtype_drift_true_negatives(tmp_path):
     # Not a hot-path package: promotion is allowed (e.g. report code).
     drift = "import numpy as np\n\ndef f(x):\n    return x.astype(np.float64)\n"
     assert run_rules(tmp_path, "repro/profiling/report2.py", drift) == []
+
+
+# ---------------------------------------------------------------------------
+# ADD-AT
+
+
+def test_add_at_true_positives(tmp_path):
+    source = """
+        import numpy as np
+
+        def f(out, index, values):
+            np.add.at(out, index, values)
+            np.subtract.at(out, index, values)
+            numpy.add.at(out, index, values)
+            return out
+    """
+    for rel in ("repro/kernels/scat.py", "repro/frameworks/agg.py",
+                "repro/tensor/ops.py"):
+        findings = run_rules(tmp_path, rel, source)
+        assert len(findings) == 3, rel
+        assert all(f.rule == "ADD-AT" for f in findings)
+        assert all(f.severity == "error" for f in findings)
+
+
+def test_add_at_true_negatives(tmp_path):
+    source = """
+        import numpy as np
+
+        def f(out, indptr, values, starts):
+            out[:] = np.add.reduceat(values, starts, axis=0)
+            np.maximum.at(out, starts, values)
+            np.add(out, values, out=out)
+            return out
+    """
+    assert run_rules(tmp_path, "repro/kernels/scat.py", source) == []
+    # Outside the kernel-path packages (e.g. sampling) the idiom is not
+    # flagged — there is no sorted-segment structure to reduce over.
+    scatter = ("import numpy as np\n\ndef f(out, idx, v):\n"
+               "    np.add.at(out, idx, v)\n    return out\n")
+    assert run_rules(tmp_path, "repro/sampling/walk2.py", scatter) == []
+    assert run_rules(tmp_path, "repro/profiling/agg2.py", scatter) == []
+
+
+def test_add_at_justified_suppression(tmp_path):
+    source = """
+        import numpy as np
+
+        def f(out, index, values):
+            np.add.at(out, index, values)  # repro-lint: disable=ADD-AT reference fallback
+            return out
+    """
+    assert run_rules(tmp_path, "repro/kernels/scat.py", source) == []
 
 
 # ---------------------------------------------------------------------------
