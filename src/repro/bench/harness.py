@@ -27,6 +27,8 @@ from repro.models.trainer import MiniBatchTrainer, TrainConfig
 from repro.kernels.transfer import adj_to_device, to_device
 from repro.power.monitor import EnergyMonitor, EnergyReport
 from repro.profiling.profiler import PhaseProfiler
+from repro.resilience.plan import FaultPlan
+from repro.resilience.runtime import session as resilience_session
 from repro.telemetry.runtime import TelemetrySession
 from repro.telemetry.runtime import session as telemetry_session
 from repro.tensor.tensor import no_grad
@@ -55,6 +57,11 @@ class ExperimentResult:
     # Telemetry artifact paths (run.json, events.jsonl, ...) when the
     # experiment ran with ``telemetry_dir`` set.
     artifacts: Dict[str, str] = field(default_factory=dict)
+    # Fault-injection totals (injected/recovered/retries/degraded +
+    # per-site breakdown) when the run executed under a fault plan.
+    resilience: Dict[str, object] = field(default_factory=dict)
+    # False when halt_after_epochs cut the run short (simulated crash).
+    completed: bool = True
 
     @property
     def total_time(self) -> float:
@@ -92,6 +99,11 @@ def run_training_experiment(
     cache_policy: str = "degree",
     num_workers: int = 0,
     telemetry_dir: Optional[str] = None,
+    fault_plan: Optional[Union[str, Dict, FaultPlan]] = None,
+    checkpoint_every: int = 0,
+    checkpoint_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
+    halt_after_epochs: Optional[int] = None,
 ) -> ExperimentResult:
     """Train one GNN end-to-end and return breakdown + power/energy.
 
@@ -104,15 +116,24 @@ def run_training_experiment(
     ``telemetry_dir`` activates a telemetry session for the run and writes
     the artifact bundle (``run.json``, ``events.jsonl``, ``metrics.prom``,
     ``trace.json``) there; the paths land in ``ExperimentResult.artifacts``.
+
+    ``fault_plan`` (a :class:`FaultPlan`, a plan dict, or a path to a plan
+    JSON file) activates deterministic fault injection for the run;
+    ``checkpoint_every``/``checkpoint_path``/``resume_from``/
+    ``halt_after_epochs`` drive checkpoint-based crash–resume (see
+    ``docs/resilience.md``).
     """
     if model not in MODEL_BUILDERS:
         raise BenchmarkError(f"unknown model {model!r}")
     build_model, build_sampler = MODEL_BUILDERS[model]
+    plan = _coerce_fault_plan(fault_plan)
     fw = get_framework(framework)
     machine = paper_testbed()
     session_cm = (telemetry_session(machine.clock) if telemetry_dir is not None
                   else nullcontext(None))
-    with session_cm as tsession:
+    fault_cm = (resilience_session(plan) if plan is not None
+                else nullcontext(None))
+    with session_cm as tsession, fault_cm as injector:
         monitor = EnergyMonitor(machine, interval=monitor_interval)
         profiler = PhaseProfiler(machine.clock)
         label = _label(framework, placement, preload, prefetch)
@@ -128,6 +149,10 @@ def run_training_experiment(
                 num_workers=num_workers,
                 representative_batches=representative_batches,
                 seed=seed,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+                resume_from=resume_from,
+                halt_after_epochs=halt_after_epochs,
             )
             if model == "graphsage":
                 mode = {"gpu": "gpu", "uvagpu": "uva"}.get(placement, "cpu")
@@ -172,6 +197,7 @@ def run_training_experiment(
                 losses=run.losses,
                 batches_per_epoch=run.batches_per_epoch,
                 kernel_families=group_by_family(machine),
+                completed=run.completed,
             )
         except OutOfMemoryError as exc:
             report = monitor.stop()
@@ -179,6 +205,8 @@ def run_training_experiment(
                                       energy=report, oom=True, error=str(exc))
         finally:
             gc.collect()
+        if injector is not None:
+            result.resilience = injector.summary()
         if tsession is not None:
             result.artifacts = _write_telemetry(
                 telemetry_dir, tsession, machine, result,
@@ -196,9 +224,22 @@ def run_training_experiment(
                     "feature_cache_fraction": feature_cache_fraction,
                     "cache_policy": cache_policy,
                     "num_workers": num_workers,
+                    "fault_plan": plan.describe() if plan is not None else "",
+                    "checkpoint_every": checkpoint_every,
+                    "resumed": bool(resume_from),
                 },
             )
         return result
+
+
+def _coerce_fault_plan(
+    fault_plan: Optional[Union[str, Dict, FaultPlan]]
+) -> Optional[FaultPlan]:
+    if fault_plan is None or isinstance(fault_plan, FaultPlan):
+        return fault_plan
+    if isinstance(fault_plan, dict):
+        return FaultPlan.from_dict(fault_plan)
+    return FaultPlan.from_file(fault_plan)
 
 
 def _write_telemetry(out_dir: str, session: TelemetrySession, machine: Machine,

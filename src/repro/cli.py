@@ -89,6 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write run.json/events.jsonl/metrics.prom/"
                             "trace.json to DIR (per-dataset subdirs when "
                             "multiple datasets are selected)")
+    train.add_argument("--faults", default=None, metavar="PLAN",
+                       help="JSON fault plan to inject deterministically "
+                            "(schema in docs/resilience.md)")
+    train.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                       help="save a resumable checkpoint every K epochs "
+                            "(default: off)")
+    train.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="checkpoint file for --checkpoint-every "
+                            "(default out/ckpt.npz)")
+    train.add_argument("--resume-from", default=None, metavar="PATH",
+                       help="resume training from a checkpoint written by "
+                            "--checkpoint-every")
+    train.add_argument("--halt-after", type=int, default=None, metavar="E",
+                       help="stop after E epochs as a simulated crash "
+                            "(pair with --checkpoint-every, then resume)")
 
     fullbatch = sub.add_parser("fullbatch", help="Figures 22-24: full-batch SAGE")
     fullbatch.add_argument("--framework", choices=FRAMEWORKS, default="dglite")
@@ -167,6 +182,18 @@ def cmd_conv(datasets: List[str], kind: str, device: str) -> None:
 
 
 def cmd_train(args: argparse.Namespace) -> None:
+    fault_plan = args.faults
+    if fault_plan is not None:
+        from repro.errors import FaultPlanError
+        from repro.resilience import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_file(fault_plan)
+        except FaultPlanError as exc:
+            raise SystemExit(f"repro train: {exc}")
+    checkpoint = args.checkpoint
+    if args.checkpoint_every and not checkpoint:
+        checkpoint = "out/ckpt.npz"
     for ds in args.dataset:
         telemetry_dir = None
         if args.telemetry:
@@ -182,6 +209,11 @@ def cmd_train(args: argparse.Namespace) -> None:
             num_workers=args.workers,
             seed=args.seed,
             telemetry_dir=telemetry_dir,
+            fault_plan=fault_plan,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=checkpoint,
+            resume_from=args.resume_from,
+            halt_after_epochs=args.halt_after,
         )
         print(f"\n{result.label} / {args.model} / {ds} "
               f"({args.epochs} epochs, {result.batches_per_epoch} batches/epoch)")
@@ -192,6 +224,15 @@ def cmd_train(args: argparse.Namespace) -> None:
         print(f"  {'total':<15}{result.total_time:>10.2f}s")
         print(f"  avg power {result.avg_power:.1f} W, "
               f"energy {result.total_energy:.1f} J")
+        if result.resilience:
+            r = result.resilience
+            print(f"  faults: {r.get('injected', 0)} injected, "
+                  f"{r.get('recovered', 0)} recovered, "
+                  f"{r.get('retries', 0)} retries, "
+                  f"{r.get('degraded', 0)} degraded")
+        if not result.completed:
+            print(f"  halted after --halt-after {args.halt_after} epoch(s); "
+                  f"resume with --resume-from {checkpoint}")
         if result.artifacts:
             print("  telemetry:")
             for name in sorted(result.artifacts):
@@ -250,6 +291,26 @@ def cmd_telemetry_report(out_dir: str) -> int:
             rate = 100.0 * hits / total if total else 0.0
             print(f"    {path:<16}{int(hits):>8} hit {int(misses):>8} miss "
                   f"({rate:.1f}% fast)")
+    faults = {}
+    for record in manifest["metrics"]:
+        name = record["name"]
+        if not name.startswith("fault."):
+            continue
+        site = record.get("labels", {}).get("site", "?")
+        event = name.split(".", 1)[1]  # injected/recovered/retries/degraded
+        bucket = faults.setdefault(
+            site, {"injected": 0, "recovered": 0, "retries": 0, "degraded": 0})
+        bucket[event] = bucket.get(event, 0) + record["value"]
+    if faults:
+        print("  resilience:")
+        for site in sorted(faults):
+            counts = faults[site]
+            line = (f"    {site:<16}{int(counts['injected']):>4} injected "
+                    f"{int(counts['recovered']):>4} recovered "
+                    f"{int(counts['retries']):>4} retries")
+            if counts["degraded"]:
+                line += f" {int(counts['degraded'])} degraded"
+            print(line)
     energy = manifest.get("energy")
     if energy:
         print(f"  energy {energy['total_joules']:.1f} J, "

@@ -9,6 +9,8 @@ the logical byte sizes so loading Reddit costs like loading 115 M edges.
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
 from dataclasses import asdict
 from pathlib import Path
 from typing import Optional, Union
@@ -42,34 +44,68 @@ def save_graph(graph: Graph, directory: Union[str, Path]) -> Path:
     return directory
 
 
+#: Failure modes of reading a damaged/truncated ``arrays.npz``: a torn
+#: zip container, a corrupted deflate stream, a short read, or numpy
+#: refusing the payload.
+_NPZ_READ_ERRORS = (zipfile.BadZipFile, zlib.error, OSError, EOFError,
+                    ValueError)
+
+
 def load_graph(directory: Union[str, Path]) -> Graph:
-    """Load a graph previously written by :func:`save_graph`."""
+    """Load a graph previously written by :func:`save_graph`.
+
+    Damaged files — a torn write truncating ``arrays.npz``, corrupted
+    or incomplete ``stats.json`` — surface as :class:`DatasetError`
+    naming the offending path, never as raw ``zipfile``/``json``/
+    ``KeyError`` internals.
+    """
     directory = Path(directory)
     stats_path = directory / "stats.json"
     arrays_path = directory / "arrays.npz"
     if not stats_path.exists() or not arrays_path.exists():
         raise DatasetError(f"no stored dataset at {directory}")
-    raw = json.loads(stats_path.read_text())
+    try:
+        raw = json.loads(stats_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"corrupted dataset stats {stats_path}: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise DatasetError(f"corrupted dataset stats {stats_path}: not an object")
     version = raw.pop("_format_version", None)
     if version != _FORMAT_VERSION:
         raise DatasetError(f"unsupported dataset format version {version}")
-    split = Split(**raw.pop("split"))
-    stats = GraphStats(split=split, **raw)
-    with np.load(arrays_path) as arrays:
-        adj = AdjacencyCSR(
-            num_nodes=int(arrays["features"].shape[0]),
-            indptr=arrays["indptr"],
-            indices=arrays["indices"],
-        )
-        return Graph(
-            adj,
-            arrays["features"],
-            arrays["labels"],
-            arrays["train_mask"],
-            arrays["val_mask"],
-            arrays["test_mask"],
-            stats,
-        )
+    try:
+        split = Split(**raw.pop("split"))
+        stats = GraphStats(split=split, **raw)
+    except (KeyError, TypeError) as exc:
+        raise DatasetError(f"malformed dataset stats {stats_path}: {exc}") from exc
+    try:
+        arrays_file = np.load(arrays_path)
+    except _NPZ_READ_ERRORS as exc:
+        raise DatasetError(f"corrupted dataset arrays {arrays_path}: {exc}") from exc
+    with arrays_file as arrays:
+        try:
+            adj = AdjacencyCSR(
+                num_nodes=int(arrays["features"].shape[0]),
+                indptr=arrays["indptr"],
+                indices=arrays["indices"],
+            )
+            return Graph(
+                adj,
+                arrays["features"],
+                arrays["labels"],
+                arrays["train_mask"],
+                arrays["val_mask"],
+                arrays["test_mask"],
+                stats,
+            )
+        except KeyError as exc:
+            raise DatasetError(
+                f"{arrays_path} is missing array {exc} "
+                "(incomplete or foreign dataset archive)"
+            ) from exc
+        except _NPZ_READ_ERRORS as exc:
+            raise DatasetError(
+                f"corrupted dataset arrays {arrays_path}: {exc}") from exc
 
 
 def stored_nbytes(stats: GraphStats) -> int:

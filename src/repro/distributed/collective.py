@@ -2,17 +2,22 @@
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 from repro.distributed.machine import MultiGpuMachine
 from repro.errors import DeviceError
 
 
-def ring_allreduce_time(machine: MultiGpuMachine, nbytes: float) -> float:
+def ring_allreduce_time(machine: MultiGpuMachine, nbytes: float,
+                        num_gpus: Optional[int] = None) -> float:
     """Duration of a bandwidth-optimal ring all-reduce of ``nbytes``.
 
     Classic model: 2(k-1)/k chunks of the payload traverse the ring, each
-    of the 2(k-1) steps paying the link latency.
+    of the 2(k-1) steps paying the link latency.  ``num_gpus`` overrides
+    the machine's GPU count for rings over a subset of replicas (the
+    resilience layer excludes dead ranks and re-forms the ring).
     """
-    k = machine.num_gpus
+    k = machine.num_gpus if num_gpus is None else int(num_gpus)
     if k < 2:
         return 0.0
     link = machine.inter_gpu
@@ -21,14 +26,21 @@ def ring_allreduce_time(machine: MultiGpuMachine, nbytes: float) -> float:
 
 
 def ring_allreduce(machine: MultiGpuMachine, nbytes: float,
-                   tag: str = "allreduce") -> float:
-    """Run (charge) one all-reduce: every GPU busy for the full duration."""
+                   tag: str = "allreduce",
+                   gpus: Optional[Sequence] = None) -> float:
+    """Run (charge) one all-reduce: every GPU busy for the full duration.
+
+    ``gpus`` restricts the ring to the given devices (default: all of the
+    machine's GPUs); a degraded ring over the surviving replicas is both
+    cheaper per step and smaller.
+    """
     if nbytes < 0:
         raise DeviceError("negative all-reduce payload")
-    seconds = ring_allreduce_time(machine, nbytes)
+    ring = list(machine.gpus) if gpus is None else list(gpus)
+    seconds = ring_allreduce_time(machine, nbytes, num_gpus=len(ring))
     if seconds <= 0:
         return 0.0
     machine.clock.occupy_parallel(
-        {gpu.name: seconds for gpu in machine.gpus}, tag=tag
+        {gpu.name: seconds for gpu in ring}, tag=tag
     )
     return seconds

@@ -31,6 +31,8 @@ from repro.frameworks.base import Framework, FrameworkGraph
 from repro.kernels.transfer import adj_to_device, to_device
 from repro.models.base import make_loss
 from repro.profiling.profiler import PhaseProfiler
+from repro.resilience import runtime as resilience
+from repro.telemetry.runtime import maybe_span
 from repro.tensor.module import Module
 from repro.tensor.optim import Adam
 
@@ -86,19 +88,25 @@ class DataParallelTrainer:
         self.loss_fn = make_loss(fgraph.stats.multilabel)
         self.optimizer = None
         self.lr = lr
+        # Ranks still in the ring; the resilience layer excludes dead
+        # replicas here and subsequent steps re-shard over the survivors.
+        self._active_ranks: List[int] = list(range(machine.num_gpus))
 
     # ------------------------------------------------------------------
     def _grad_nbytes(self) -> float:
         return float(sum(p.logical_nbytes for p in self.model.parameters()))
 
     def _replica_names(self) -> List[str]:
-        return [gpu.name for gpu in self.machine.gpus[1:]]
+        return [self.machine.gpus[rank].name
+                for rank in self._active_ranks if rank > 0]
 
     def _step(self, shards) -> float:
         """One synchronous global step over ``shards`` root sets."""
         machine = self.machine
         gpu0 = machine.gpus[0]
         profiler = self.profiler
+        # The "replica" fault site arms once per global step.
+        fault = resilience.arm("replica")
 
         # (1) host-side sampling of every shard — serial on the CPU.
         with profiler.phase("sampling"):
@@ -132,10 +140,49 @@ class DataParallelTrainer:
                     {name: compute for name in self._replica_names()},
                     tag="dp-replica-compute", backfill=True,
                 )
+            if fault is not None:
+                self._apply_replica_fault(fault, compute)
             # (4) gradient synchronization + identical updates everywhere.
-            ring_allreduce(machine, self._grad_nbytes(), tag="dp-allreduce")
+            ring_allreduce(machine, self._grad_nbytes(), tag="dp-allreduce",
+                           gpus=[machine.gpus[r] for r in self._active_ranks])
             self.optimizer.step()
         return loss.item()
+
+    def _apply_replica_fault(self, fault, compute: float) -> None:
+        """Recover from a dead or straggling replica before the all-reduce.
+
+        ``straggler``: the victim's step takes ``slow_factor`` times
+        longer and the synchronous ring waits for it.  ``dead``: the
+        victim is excluded from the ring, and rank 0 re-executes its
+        shard (one extra compute window) so no data is silently dropped;
+        later steps re-shard over the surviving ranks.
+        """
+        injector = resilience.active()
+        machine = self.machine
+        candidates = [r for r in self._active_ranks if r > 0]
+        victim = fault.rank if fault.rank is not None else \
+            (candidates[-1] if candidates else None)
+        if victim not in candidates:
+            # Nothing excludable (single-GPU ring, or the rank already
+            # died): the fault cannot fire, so neither counter moves.
+            return
+        name = machine.gpus[victim].name
+        if fault.kind == "straggler":
+            injector.record_injected("replica", "straggler")
+            extra = compute * (fault.slow_factor - 1.0)
+            with maybe_span("recover.straggler", category="resilience",
+                            rank=victim, extra_seconds=extra):
+                if extra > 0:
+                    machine.clock.occupy(name, extra, tag="dp-straggler")
+            injector.record_recovered("replica", action="wait")
+        else:  # dead
+            injector.record_injected("replica", "dead")
+            with maybe_span("recover.exclude", category="resilience",
+                            rank=victim):
+                self._active_ranks.remove(victim)
+                machine.clock.occupy(machine.gpus[0].name, compute,
+                                     tag="dp-reshard")
+            injector.record_recovered("replica", action="exclude")
 
     # ------------------------------------------------------------------
     def run(self) -> ScalingResult:
@@ -161,8 +208,9 @@ class DataParallelTrainer:
             executed = 0
             for step in range(reps):
                 shards = []
-                for rank in range(k):
-                    lo = (step * k + rank) * shard_size
+                alive = len(self._active_ranks)
+                for slot in range(alive):
+                    lo = (step * alive + slot) * shard_size
                     roots = order[lo:lo + shard_size]
                     if roots.size == 0:
                         roots = order[:shard_size]

@@ -5,7 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.errors import InjectedFault
 from repro.hardware.specs import LinkSpec
+from repro.resilience import runtime as resilience
 from repro.simtime import VirtualClock
 from repro.telemetry import runtime as telemetry
 
@@ -44,26 +46,57 @@ class Interconnect:
         return self.spec.latency + nbytes / self.spec.bandwidth
 
     def h2d(self, nbytes: float, tag: str = "h2d") -> float:
-        """Copy host -> device; advances the clock."""
-        seconds = self.transfer_time(nbytes)
-        self.clock.occupy(self.BUSY_KEY, seconds, tag=tag)
-        self.counters.transfers += 1
-        self.counters.bytes_h2d += nbytes
-        self.counters.seconds += seconds
-        self.counters.by_tag[tag] = self.counters.by_tag.get(tag, 0.0) + seconds
-        self._record_metrics("h2d", tag, nbytes)
-        return seconds
+        """Copy host -> device; advances the clock.
+
+        The ``transfer.h2d`` fault site: an armed ``stall`` holds the
+        link for ``stall_seconds`` extra, an ``error`` (link hiccup /
+        failed DMA) wastes ``severity`` of the copy before failing and
+        retries under the site's recovery policy.
+        """
+        return self._dma("h2d", nbytes, tag)
 
     def d2h(self, nbytes: float, tag: str = "d2h") -> float:
         """Copy device -> host; advances the clock."""
+        return self._dma("d2h", nbytes, tag)
+
+    def _dma(self, direction: str, nbytes: float, tag: str) -> float:
         seconds = self.transfer_time(nbytes)
+
+        def attempt() -> float:
+            extra = 0.0
+            fault = resilience.arm("transfer.h2d") if direction == "h2d" else None
+            if fault is not None:
+                injector = resilience.active()
+                if fault.kind == "stall":
+                    injector.record_injected("transfer.h2d", "stall")
+                    self._charge(fault.stall_seconds, f"{tag}!stall")
+                    injector.record_recovered("transfer.h2d", action="stall")
+                    extra = fault.stall_seconds
+                else:
+                    wasted = seconds * fault.severity
+                    if wasted > 0:
+                        self._charge(wasted, f"{tag}!{fault.kind}")
+                    injector.record_injected("transfer.h2d", fault.kind)
+                    raise InjectedFault("transfer.h2d", fault.kind,
+                                        injector.occurrence("transfer.h2d"))
+            self._charge(seconds, tag)
+            self.counters.transfers += 1
+            if direction == "h2d":
+                self.counters.bytes_h2d += nbytes
+            else:
+                self.counters.bytes_d2h += nbytes
+            self._record_metrics(direction, tag, nbytes)
+            return seconds + extra
+
+        if direction != "h2d" or not resilience.enabled():
+            return attempt()
+        return resilience.with_retries("transfer.h2d", self.clock, attempt)
+
+    def _charge(self, seconds: float, tag: str) -> None:
+        """Hold the link busy: clock interval + link-seconds accounting."""
         self.clock.occupy(self.BUSY_KEY, seconds, tag=tag)
-        self.counters.transfers += 1
-        self.counters.bytes_d2h += nbytes
         self.counters.seconds += seconds
         self.counters.by_tag[tag] = self.counters.by_tag.get(tag, 0.0) + seconds
-        self._record_metrics("d2h", tag, nbytes)
-        return seconds
 
     def _record_metrics(self, direction: str, tag: str, nbytes: float) -> None:
         registry = telemetry.metrics()

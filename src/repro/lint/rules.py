@@ -654,3 +654,84 @@ class TelemetryLeakRule(Rule):
                         "histogram() so exporters see the metric",
                         span=_expr_span(node),
                     )
+
+
+# ---------------------------------------------------------------------------
+# BARE-RETRY
+
+
+def _scan_handler(nodes) -> tuple:
+    """(has_continue, has_raise/return) scanning a handler body.
+
+    Does not descend into nested loops or function definitions — a
+    ``continue`` there belongs to the inner loop, and a ``raise`` there
+    does not bound the outer retry.
+    """
+    has_continue = False
+    has_escape = False
+    for node in nodes:
+        if isinstance(node, ast.Continue):
+            has_continue = True
+        elif isinstance(node, (ast.Raise, ast.Return, ast.Break)):
+            has_escape = True
+        elif isinstance(node, (ast.While, ast.For, ast.FunctionDef,
+                               ast.AsyncFunctionDef)):
+            continue
+        else:
+            sub_continue, sub_escape = _scan_handler(ast.iter_child_nodes(node))
+            has_continue = has_continue or sub_continue
+            has_escape = has_escape or sub_escape
+    return has_continue, has_escape
+
+
+def _while_true_tries(loop: ast.While):
+    """Try statements directly inside ``loop`` (not in a nested loop)."""
+    stack = list(loop.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Try):
+            yield node
+            continue
+        if isinstance(node, (ast.While, ast.For, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class BareRetryRule(Rule):
+    name = "BARE-RETRY"
+    severity = "error"
+    description = ("unbounded `while True` retry loop: an except handler "
+                   "swallows the error and continues forever.  A faulted "
+                   "operation must retry under a bounded RecoveryPolicy "
+                   "(repro.resilience.with_retries) so injected faults "
+                   "terminate in RecoveryExhausted instead of spinning")
+
+    def applies(self, ctx: FileContext) -> bool:
+        if not (ctx.module == "repro" or ctx.module.startswith("repro.")):
+            return False
+        # The resilience package implements the bounded retry engine.
+        return not (ctx.module == "repro.resilience"
+                    or ctx.module.startswith("repro.resilience."))
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            test = node.test
+            if not (isinstance(test, ast.Constant) and bool(test.value)):
+                continue
+            for try_stmt in _while_true_tries(node):
+                for handler in try_stmt.handlers:
+                    has_continue, has_escape = _scan_handler(handler.body)
+                    if has_continue and not has_escape:
+                        kinds = dotted_name(handler.type) if handler.type \
+                            else "Exception"
+                        yield self.finding(
+                            ctx, handler,
+                            f"`while True` retry swallows {kinds or 'errors'} "
+                            "and continues unboundedly; bound the attempts "
+                            "(for attempt in range(...)) or route through "
+                            "repro.resilience.with_retries",
+                        )

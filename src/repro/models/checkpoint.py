@@ -26,15 +26,25 @@ class CheckpointError(ReproError):
     """A checkpoint could not be written or restored."""
 
 
+def _normalize_path(path: Union[str, Path]) -> Path:
+    """The path ``np.savez`` actually writes: ``.npz`` appended if absent."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
 def save_checkpoint(path: Union[str, Path], model: Module,
                     optimizer: Optional[Optimizer] = None,
                     metadata: Optional[Dict] = None) -> Path:
     """Write model (and optionally optimizer) state to ``path``.
 
-    ``path`` should end in ``.npz``; a ``.json`` sidecar with metadata and
-    the parameter manifest is written next to it.
+    ``path`` should end in ``.npz`` (the suffix is appended otherwise,
+    matching what ``np.savez`` writes, and the *normalized* path is
+    returned); a ``.json`` sidecar with metadata and the parameter
+    manifest is written next to it.
     """
-    path = Path(path)
+    path = _normalize_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
 
     arrays: Dict[str, np.ndarray] = {}
@@ -66,7 +76,7 @@ def save_checkpoint(path: Union[str, Path], model: Module,
 def load_checkpoint(path: Union[str, Path], model: Module,
                     optimizer: Optional[Optimizer] = None) -> Dict:
     """Restore state saved by :func:`save_checkpoint`; returns metadata."""
-    path = Path(path)
+    path = _normalize_path(path)
     sidecar = path.with_suffix(".json")
     if not path.exists() or not sidecar.exists():
         raise CheckpointError(f"no checkpoint at {path}")
@@ -100,4 +110,11 @@ def load_checkpoint(path: Union[str, Path], model: Module,
                     if key in arrays:
                         optimizer._m[i] = arrays[key].copy()
                         optimizer._v[i] = arrays[f"adam_v::{i}"].copy()
+                    else:
+                        # Saved before this parameter ever received a
+                        # gradient: the moments were never allocated.
+                        # Reset rather than keep whatever the target
+                        # optimizer accumulated before the restore.
+                        optimizer._m[i] = None
+                        optimizer._v[i] = None
     return manifest.get("metadata", {})

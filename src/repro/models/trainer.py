@@ -15,12 +15,13 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import BenchmarkError
+from repro.errors import BenchmarkError, RecoveryExhausted
 from repro.frameworks.base import Framework, FrameworkBatch, FrameworkGraph
 from repro.hardware.machine import Machine
 from repro.kernels.transfer import adj_to_device, to_device
 from repro.models.base import make_loss
 from repro.profiling.profiler import PhaseProfiler
+from repro.resilience import runtime as resilience
 from repro.telemetry import runtime as telemetry
 from repro.telemetry.runtime import maybe_span
 from repro.tensor.module import Module
@@ -46,6 +47,13 @@ class TrainConfig:
     num_workers: int = 0
     representative_batches: int = 4
     seed: int = 0
+    # Crash–resume: save a checkpoint every K completed epochs (0 = off),
+    # resume from a previous checkpoint, and/or halt after E epochs to
+    # simulate a mid-run kill (the run reports ``completed=False``).
+    checkpoint_every: int = 0
+    checkpoint_path: Optional[str] = None
+    resume_from: Optional[str] = None
+    halt_after_epochs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.placement not in PLACEMENTS:
@@ -58,6 +66,12 @@ class TrainConfig:
             raise BenchmarkError(
                 "sampling workers apply to CPU-side samplers only"
             )
+        if self.checkpoint_every < 0:
+            raise BenchmarkError("checkpoint_every must be >= 0")
+        if self.checkpoint_every and not self.checkpoint_path:
+            raise BenchmarkError("checkpoint_every needs a checkpoint_path")
+        if self.halt_after_epochs is not None and self.halt_after_epochs < 1:
+            raise BenchmarkError("halt_after_epochs must be >= 1")
 
     @property
     def trains_on_gpu(self) -> bool:
@@ -78,6 +92,10 @@ class RunResult:
     batches_per_epoch: int
     executed_batches: int
     losses: List[float] = field(default_factory=list)
+    # False when halt_after_epochs cut the run short (simulated crash);
+    # start_epoch > 0 marks a run resumed from a checkpoint.
+    completed: bool = True
+    start_epoch: int = 0
 
     @property
     def total_time(self) -> float:
@@ -137,6 +155,9 @@ class MiniBatchTrainer:
         self.loss_fn = make_loss(fgraph.stats.multilabel)
         self.feature_cache = feature_cache
         self._usage = _UsageMeter(self.machine)
+        # Set when the worker pool burned through its respawn budget and
+        # sampling fell back to inline (no speedup, no pipelining).
+        self._workers_degraded = False
 
     # ------------------------------------------------------------------
     def setup(self) -> None:
@@ -218,9 +239,16 @@ class MiniBatchTrainer:
             batch = next(batch_iter, None)
         if batch is None:
             return None
-        speedup = self.worker_speedup()
+        if self._workers_degraded:
+            # Respawn budget exhausted earlier in the run: inline
+            # sampling, full cost, no overlap with training.
+            speedup = 1.0
+        else:
+            speedup = self.worker_speedup()
         effective = record.total / speedup
-        can_pipeline = self.config.trains_on_gpu
+        if not self._workers_degraded:
+            effective = self._survive_worker_crashes(effective, record.total)
+        can_pipeline = self.config.trains_on_gpu and not self._workers_degraded
         hidden = min(prev_train_dt, effective) if can_pipeline else 0.0
         residual = effective - hidden
 
@@ -252,6 +280,55 @@ class MiniBatchTrainer:
         for key, value in delta.items():
             bucket[key] = bucket.get(key, 0.0) + value
         return batch
+
+    def _survive_worker_crashes(self, effective: float,
+                                inline_total: float) -> float:
+        """The ``sampler.worker`` fault site: crashed sampling workers.
+
+        Arms once per respawn attempt.  Each crash wastes ``severity`` of
+        the parallel sampling cost, pays the policy's backoff as respawn
+        latency, and re-runs; past ``max_retries`` crashes the pool is
+        torn down for the rest of the run (graceful degradation to inline
+        sampling) when the policy allows it.  Returns the sampling cost
+        the caller should charge.  All recovery time lands in the
+        "sampling" phase but outside the per-batch usage window, so
+        extrapolated batches are not billed for it.
+        """
+        injector = resilience.active()
+        if injector is None:
+            return effective
+        clock = self.machine.clock
+        policy = injector.policy("sampler.worker")
+        cpu_name = self.machine.cpu.name
+        crashes = 0
+        while True:
+            fault = injector.arm("sampler.worker")
+            if fault is None or fault.kind != "crash":
+                break
+            crashes += 1
+            injector.record_injected("sampler.worker", "crash")
+            wasted = effective * fault.severity
+            delay = injector.backoff_delay("sampler.worker", crashes)
+            with self.profiler.phase("sampling"), \
+                    maybe_span("recover.respawn", category="resilience",
+                               attempt=crashes, wasted_seconds=wasted):
+                if wasted > 0:
+                    clock.occupy(cpu_name, wasted, tag="sampling-worker-crash")
+                if delay > 0:
+                    clock.advance(delay)  # worker respawn latency
+            if crashes > policy.max_retries:
+                if policy.degrade:
+                    self._workers_degraded = True
+                    injector.record_degraded("sampler.worker")
+                    injector.record_recovered("sampler.worker",
+                                              action="degrade")
+                    return inline_total
+                raise RecoveryExhausted("sampler.worker", crashes)
+            # Each crash is cleared by one respawn; a pool that keeps
+            # crashing re-arms fresh occurrences until it degrades.
+            injector.record_retry("sampler.worker")
+            injector.record_recovered("sampler.worker", action="respawn")
+        return effective
 
     def _movement_seconds(self, batch: FrameworkBatch) -> float:
         """PCIe seconds the batch copy would take (prefetch accounting)."""
@@ -303,9 +380,13 @@ class MiniBatchTrainer:
         reps = min(config.representative_batches, num_batches)
         losses: List[float] = []
         executed = 0
+        start_epoch = 0
+        completed = True
+        if config.resume_from:
+            start_epoch, losses, executed = self._resume(config.resume_from)
 
         prev_train_dt = 0.0
-        for epoch in range(config.epochs):
+        for epoch in range(start_epoch, config.epochs):
             batch_iter = iter(self.sampler.epoch())
             phase_usage: Dict[str, Dict[str, float]] = {}
             phase_wall: Dict[str, float] = {}
@@ -366,6 +447,16 @@ class MiniBatchTrainer:
             if remaining > 0 and ran > 0:
                 self._extrapolate(phase_usage, phase_wall, ran, remaining)
 
+            done = epoch + 1
+            if (config.checkpoint_every
+                    and done % config.checkpoint_every == 0):
+                self._save_checkpoint(done, losses, executed)
+            if (config.halt_after_epochs is not None
+                    and done >= start_epoch + config.halt_after_epochs
+                    and done < config.epochs):
+                completed = False  # simulated crash: stop mid-run
+                break
+
         registry = telemetry.metrics()
         if registry is not None:
             labels = {"label": self.label}
@@ -382,7 +473,77 @@ class MiniBatchTrainer:
             batches_per_epoch=num_batches,
             executed_batches=executed,
             losses=losses,
+            completed=completed,
+            start_epoch=start_epoch,
         )
+
+    # ------------------------------------------------------------------
+    def _save_checkpoint(self, next_epoch: int, losses: List[float],
+                         executed: int) -> None:
+        """Persist everything a resumed process needs for bit-identical
+        continuation: model + optimizer state, loss history, phase
+        totals, and every RNG the loop consumes.  The write itself is
+        off the virtual clock's critical path (asynchronous checkpoint
+        I/O), so checkpointing never perturbs the reported breakdown.
+        """
+        from repro.models.checkpoint import save_checkpoint
+        from repro.resilience.checkpointing import capture_rng_states
+
+        with maybe_span("checkpoint.save", category="resilience",
+                        epoch=next_epoch):
+            save_checkpoint(
+                self.config.checkpoint_path, self.model, self.optimizer,
+                metadata={
+                    "kind": "train-resume",
+                    "label": self.label,
+                    "epoch": next_epoch,
+                    "executed_batches": executed,
+                    "losses": [float(v) for v in losses],
+                    "phases": self.profiler.snapshot(),
+                    "rng": capture_rng_states(self.model, self.sampler),
+                },
+            )
+        registry = telemetry.metrics()
+        if registry is not None:
+            registry.counter("checkpoint.saves", label=self.label).inc()
+
+    def _resume(self, path: str):
+        """Restore a ``train-resume`` checkpoint written by this driver."""
+        from repro.models.checkpoint import CheckpointError, load_checkpoint
+        from repro.resilience.checkpointing import restore_rng_states
+
+        with maybe_span("recover.resume", category="resilience",
+                        path=str(path)):
+            meta = load_checkpoint(path, self.model, self.optimizer)
+            if meta.get("kind") != "train-resume":
+                raise CheckpointError(
+                    f"{path} is not a training checkpoint (kind="
+                    f"{meta.get('kind')!r}); save with checkpoint_every"
+                )
+            restore_rng_states(self.model, self.sampler, meta.get("rng", {}))
+            # The checkpointed phase totals cover everything up to the
+            # kill point; this process has re-charged loading/setup on a
+            # fresh clock, so credit only the difference.  The prefix is
+            # identical by determinism, hence the delta is exactly the
+            # killed run's training progress.
+            current = self.profiler.snapshot()
+            for phase, seconds in meta.get("phases", {}).items():
+                delta = seconds - current.get(phase, 0.0)
+                if delta < -1e-9:
+                    raise CheckpointError(
+                        f"resume accounting mismatch for {phase!r}: this "
+                        f"run already charged {current.get(phase, 0.0):.6f}s "
+                        f"but the checkpoint recorded {seconds:.6f}s"
+                    )
+                if delta > 0:
+                    self.profiler.add(phase, delta)
+            start_epoch = int(meta["epoch"])
+            losses = [float(v) for v in meta.get("losses", [])]
+            executed = int(meta.get("executed_batches", 0))
+        registry = telemetry.metrics()
+        if registry is not None:
+            registry.counter("checkpoint.resumes", label=self.label).inc()
+        return start_epoch, losses, executed
 
     # ------------------------------------------------------------------
     def _timed_phase(self, name: str, fn, usage: Dict[str, Dict[str, float]],

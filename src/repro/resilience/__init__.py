@@ -1,0 +1,49 @@
+"""Deterministic fault injection, recovery policies, and crash–resume.
+
+Public surface:
+
+* :class:`FaultPlan` / :class:`FaultSpec` / :class:`RecoveryPolicy` —
+  the declarative schedule (``repro train --faults plan.json``).
+* :class:`FaultInjector` + the ambient :func:`session` /
+  :func:`active` / :func:`arm` / :func:`with_retries` runtime the
+  hot-path seams consult.
+* :func:`capture_rng_states` / :func:`restore_rng_states` — the
+  generator snapshots that make resumed runs bit-identical.
+
+See ``docs/resilience.md`` for the plan schema and policy semantics.
+"""
+
+from repro.resilience.checkpointing import capture_rng_states, restore_rng_states
+from repro.resilience.injector import FaultInjector
+from repro.resilience.plan import (
+    DEFAULT_POLICY,
+    FaultPlan,
+    FaultSpec,
+    KINDS,
+    RecoveryPolicy,
+    SITES,
+)
+from repro.resilience.runtime import (
+    active,
+    arm,
+    enabled,
+    session,
+    with_retries,
+)
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "KINDS",
+    "RecoveryPolicy",
+    "SITES",
+    "active",
+    "arm",
+    "capture_rng_states",
+    "enabled",
+    "restore_rng_states",
+    "session",
+    "with_retries",
+]

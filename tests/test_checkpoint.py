@@ -130,3 +130,75 @@ class TestGnnModelCheckpoint:
         load_checkpoint(tmp_path / "gnn.npz", restored)
         assert (evaluate(fw, fgraph, model).val
                 == pytest.approx(evaluate(fw, fgraph, restored).val))
+
+
+class TestPathNormalization:
+    def test_suffixless_path_returns_the_real_file(self, tmp_path):
+        """Regression: np.savez appends .npz, so saving to "model.ckpt"
+        used to return a path that does not exist on disk."""
+        model = Linear(4, 3, seed=0)
+        written = save_checkpoint(tmp_path / "model.ckpt", model)
+        assert written.exists()
+        assert written.name == "model.ckpt.npz"
+        assert not (tmp_path / "model.ckpt").exists()
+
+    def test_load_accepts_both_spellings(self, tmp_path):
+        model = Linear(4, 3, seed=0)
+        save_checkpoint(tmp_path / "model.ckpt", model)
+        for spelling in ("model.ckpt", "model.ckpt.npz"):
+            fresh = Linear(4, 3, seed=7)
+            load_checkpoint(tmp_path / spelling, fresh)
+            for (_, a), (_, b) in zip(model.named_parameters(),
+                                      fresh.named_parameters()):
+                assert np.array_equal(a.data, b.data)
+
+    def test_npz_path_is_untouched(self, tmp_path):
+        written = save_checkpoint(tmp_path / "plain.npz", Linear(2, 2, seed=0))
+        assert written == tmp_path / "plain.npz"
+        assert written.exists()
+
+
+class TestPartialAdamMoments:
+    def _frozen_first_layer(self, seed):
+        """A model whose first layer never receives a gradient."""
+        model = Sequential(Linear(4, 8, seed=seed), Linear(8, 3, seed=seed))
+        for p in model._layers[0].parameters():
+            p.requires_grad = False
+        return model
+
+    def test_never_stepped_moments_round_trip_as_none(self, tmp_path):
+        model = self._frozen_first_layer(seed=0)
+        opt = Adam(model.parameters(), lr=0.01)
+        _train_a_bit(model, opt)
+        stepped = [m is not None for m in opt._m]
+        assert True in stepped and False in stepped  # genuinely partial
+        save_checkpoint(tmp_path / "partial.npz", model, opt)
+
+        fresh = self._frozen_first_layer(seed=5)
+        fresh_opt = Adam(fresh.parameters(), lr=0.01)
+        load_checkpoint(tmp_path / "partial.npz", fresh, fresh_opt)
+        assert [m is not None for m in fresh_opt._m] == stepped
+        assert [v is not None for v in fresh_opt._v] == stepped
+
+    def test_restore_resets_stale_moments(self, tmp_path):
+        """Regression: restoring a partial checkpoint into an optimizer
+        that HAS stepped used to keep the target's stale moments."""
+        model = self._frozen_first_layer(seed=0)
+        opt = Adam(model.parameters(), lr=0.01)
+        _train_a_bit(model, opt)
+        save_checkpoint(tmp_path / "partial.npz", model, opt)
+
+        # The target optimizer trained a fully-trainable copy: every
+        # parameter has moments, some of which the checkpoint lacks.
+        warm = Sequential(Linear(4, 8, seed=3), Linear(8, 3, seed=3))
+        warm_opt = Adam(warm.parameters(), lr=0.01)
+        _train_a_bit(warm, warm_opt)
+        assert all(m is not None for m in warm_opt._m)
+
+        load_checkpoint(tmp_path / "partial.npz", warm, warm_opt)
+        expected = [m is not None for m in opt._m]
+        assert [m is not None for m in warm_opt._m] == expected
+        assert [v is not None for v in warm_opt._v] == expected
+        for m_old, m_new in zip(opt._m, warm_opt._m):
+            if m_old is not None:
+                assert np.allclose(m_old, m_new)

@@ -131,3 +131,58 @@ class TestReportCommand:
         empty = tmp_path / "none"
         empty.mkdir()
         assert main(["report", "--results-dir", str(empty)]) == 1
+
+
+class TestResilienceCli:
+    PLAN = {
+        "seed": 0,
+        "faults": [
+            {"site": "storage.read", "kind": "error"},
+            {"site": "transfer.h2d", "kind": "stall", "stall_seconds": 0.01},
+        ],
+    }
+
+    def _write_plan(self, tmp_path):
+        import json
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(self.PLAN))
+        return path
+
+    def test_train_with_fault_plan(self, tmp_path, capsys):
+        plan = self._write_plan(tmp_path)
+        assert main(["train", "--dataset", "ppi", "--epochs", "1",
+                     "--placement", "cpugpu", "--faults", str(plan)]) == 0
+        out = capsys.readouterr().out
+        assert "faults: 2 injected, 2 recovered" in out
+
+    def test_report_telemetry_shows_resilience_section(self, tmp_path,
+                                                       capsys):
+        plan = self._write_plan(tmp_path)
+        out_dir = tmp_path / "telemetry"
+        assert main(["train", "--dataset", "ppi", "--epochs", "1",
+                     "--placement", "cpugpu", "--faults", str(plan),
+                     "--telemetry", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--telemetry", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "resilience:" in out
+        assert "storage.read" in out
+        assert "transfer.h2d" in out
+
+    def test_checkpoint_halt_and_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt.npz"
+        assert main(["train", "--dataset", "ppi", "--epochs", "3",
+                     "--checkpoint-every", "1", "--checkpoint", str(ckpt),
+                     "--halt-after", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "halted after" in out
+        assert ckpt.exists()
+        assert main(["train", "--dataset", "ppi", "--epochs", "3",
+                     "--resume-from", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "avg power" in out
+
+    def test_missing_plan_file_fails_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["train", "--dataset", "ppi", "--epochs", "1",
+                  "--faults", "/nonexistent/plan.json"])

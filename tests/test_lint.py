@@ -51,7 +51,7 @@ def run_rules(tmp_path, rel, source, select=None):
 def test_registry_has_all_rules():
     assert set(RULES) == {"HOTLOOP", "RNG-SEED", "INPLACE-GRAD",
                           "PARAM-REG", "DTYPE-DRIFT", "TELEMETRY-LEAK",
-                          "ADD-AT"}
+                          "ADD-AT", "BARE-RETRY"}
     for rule in RULES.values():
         assert rule.severity in ("error", "warning")
         assert rule.description
@@ -570,6 +570,90 @@ def test_telemetry_leak_scoped_to_repro_and_exempts_telemetry(tmp_path):
     assert run_rules(tmp_path, "plain/other.py", leak) == []
     # Anywhere else in repro it is flagged.
     assert len(run_rules(tmp_path, "repro/models/bad.py", leak)) == 1
+
+
+# ---------------------------------------------------------------------------
+# BARE-RETRY
+
+
+def test_bare_retry_true_positives(tmp_path):
+    findings = run_rules(tmp_path, "repro/datasets/fetcher.py", """
+        def fetch(path):
+            while True:
+                try:
+                    return open(path).read()
+                except OSError:
+                    continue
+
+        def fetch_verbose(path):
+            while 1:
+                try:
+                    data = open(path).read()
+                    return data
+                except (OSError, ValueError):
+                    note = "retrying"
+                    if path:
+                        continue
+                    continue
+    """, select=["BARE-RETRY"])
+    assert len(findings) == 2
+    assert all(f.rule == "BARE-RETRY" for f in findings)
+    assert "unbounded" in findings[0].message
+
+
+def test_bare_retry_true_negatives(tmp_path):
+    # Bounded attempts, raise-on-exhaustion, and a continue that belongs
+    # to an inner loop are all acceptable retry shapes.
+    findings = run_rules(tmp_path, "repro/datasets/fetcher.py", """
+        def bounded(path):
+            for attempt in range(5):
+                try:
+                    return open(path).read()
+                except OSError:
+                    continue
+            raise RuntimeError("exhausted")
+
+        def raises_eventually(path, budget):
+            while True:
+                try:
+                    return open(path).read()
+                except OSError:
+                    budget -= 1
+                    if budget <= 0:
+                        raise
+                    continue
+
+        def inner_loop_continue(paths):
+            while True:
+                try:
+                    return [open(p).read() for p in paths]
+                except OSError:
+                    for p in paths:
+                        if not p:
+                            continue
+                    return None
+    """, select=["BARE-RETRY"])
+    assert findings == []
+
+
+def test_bare_retry_exempts_resilience_package(tmp_path):
+    source = """
+        def spin(fn):
+            while True:
+                try:
+                    return fn()
+                except OSError:
+                    continue
+    """
+    # The resilience package implements the bounded retry engine itself.
+    assert run_rules(tmp_path, "repro/resilience/engine.py", source,
+                     select=["BARE-RETRY"]) == []
+    # Code outside the repro package is out of scope.
+    assert run_rules(tmp_path, "plain/other.py", source,
+                     select=["BARE-RETRY"]) == []
+    # The same code anywhere else in repro is flagged.
+    assert len(run_rules(tmp_path, "repro/models/spinner.py", source,
+                         select=["BARE-RETRY"])) == 1
 
 
 # ---------------------------------------------------------------------------

@@ -54,3 +54,59 @@ class TestLogicalFootprint:
                     + tiny_graph.stats.structure_nbytes()
                     + tiny_graph.stats.label_nbytes())
         assert nbytes == expected
+
+
+class TestCorruptedFiles:
+    """Damage every file the loader touches; always get a DatasetError
+    naming the offending path, never a raw zipfile/json/KeyError."""
+
+    @pytest.fixture
+    def stored(self, tiny_graph, tmp_path):
+        save_graph(tiny_graph, tmp_path / "g")
+        return tmp_path / "g"
+
+    def test_invalid_json_stats(self, stored):
+        (stored / "stats.json").write_text("{not json at all")
+        with pytest.raises(DatasetError, match="stats.json"):
+            load_graph(stored)
+
+    def test_non_object_stats(self, stored):
+        (stored / "stats.json").write_text("[1, 2, 3]")
+        with pytest.raises(DatasetError, match="not an object"):
+            load_graph(stored)
+
+    def test_valid_json_missing_split(self, stored):
+        import json as _json
+        raw = _json.loads((stored / "stats.json").read_text())
+        del raw["split"]
+        (stored / "stats.json").write_text(_json.dumps(raw))
+        with pytest.raises(DatasetError, match="malformed dataset stats"):
+            load_graph(stored)
+
+    def test_valid_json_unexpected_field(self, stored):
+        import json as _json
+        raw = _json.loads((stored / "stats.json").read_text())
+        raw["surprise"] = 1
+        (stored / "stats.json").write_text(_json.dumps(raw))
+        with pytest.raises(DatasetError, match="malformed dataset stats"):
+            load_graph(stored)
+
+    def test_torn_write_truncates_npz(self, stored):
+        path = stored / "arrays.npz"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # simulated torn write
+        with pytest.raises(DatasetError, match="arrays.npz"):
+            load_graph(stored)
+
+    def test_npz_is_not_a_zipfile(self, stored):
+        (stored / "arrays.npz").write_bytes(b"this is no archive")
+        with pytest.raises(DatasetError, match="arrays.npz"):
+            load_graph(stored)
+
+    def test_npz_missing_array(self, stored, tiny_graph):
+        np.savez(stored / "arrays.npz",
+                 indptr=tiny_graph.adj.indptr,
+                 indices=tiny_graph.adj.indices,
+                 features=tiny_graph.features)  # labels + masks dropped
+        with pytest.raises(DatasetError, match="missing array"):
+            load_graph(stored)
