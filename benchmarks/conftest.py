@@ -32,9 +32,15 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def emit(name: str, text: str) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    """Print a result table and persist it under benchmarks/results/.
+
+    The write is atomic (temp file + ``os.replace``): an interrupted bench
+    run must never leave a truncated ``results/*.txt`` that a later
+    ``repro report`` would aggregate as if it were complete.
+    """
+    from repro.bench.artifacts import atomic_write_text
+
+    atomic_write_text(RESULTS_DIR / f"{name}.txt", text + "\n")
     print("\n" + text)
 
 

@@ -18,7 +18,10 @@ def format_series(title: str, series: Mapping[str, Mapping[str, float]],
             if key not in columns:
                 columns.append(key)
     label_w = max(10, max((len(k) for k in series), default=10) + 1)
-    col_w = max(12, precision + 8)
+    # Columns must fit the widest *name* too, not just the numbers —
+    # "ogbn-products" is 13 chars and would overflow a numeric-only width.
+    name_w = max((len(c) for c in columns), default=0)
+    col_w = max(12, precision + 8, name_w + 2)
     lines = [title, "=" * len(title)]
     header = f"{'':<{label_w}}" + "".join(f"{c:>{col_w}}" for c in columns)
     lines.append(header)

@@ -1,0 +1,206 @@
+"""Perf-trajectory regression gate over ``BENCH_<area>.json`` baselines.
+
+The gate compares a fresh sweep against the committed baseline artifact
+and fails when any cell's gated metric regresses beyond its recorded
+noise envelope::
+
+    allowed = max(mean + k * sample_std,      # seeded-repeat noise bound
+                  mean * (1 + rel_slack))     # floor for zero-std metrics
+
+Virtual time and energy are deterministic per seed, so their sample-std
+across seeds reflects genuine seed sensitivity (sampling order, model
+init), not host noise — a tight, honest envelope.  Wall time is recorded
+in the artifacts but excluded from gating by default (shared-runner
+jitter would make it a flaky gate); pass ``metrics=("wall_s",)`` to
+inspect it locally.
+
+Improvements (cells now *below* the envelope) never fail the gate; they
+are listed in the report as the cue to refresh the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.artifacts import (
+    GATED_METRICS,
+    load_sweep_artifact,
+    validate_sweep_artifact,
+)
+
+DEFAULT_NOISE_K = 3.0
+DEFAULT_REL_SLACK = 0.02
+
+
+@dataclass(frozen=True)
+class CellRegression:
+    """One gated metric of one cell exceeding its noise envelope."""
+
+    cell_id: str
+    metric: str
+    baseline_mean: float
+    baseline_std: float
+    allowed: float
+    current_mean: float
+
+    @property
+    def ratio(self) -> float:
+        return (self.current_mean / self.baseline_mean
+                if self.baseline_mean else float("inf"))
+
+    def describe(self) -> str:
+        return (f"{self.cell_id} {self.metric}: "
+                f"{self.baseline_mean:.6g} -> {self.current_mean:.6g} "
+                f"({self.ratio:.2f}x, allowed <= {self.allowed:.6g})")
+
+
+@dataclass
+class GateResult:
+    """Everything one area's comparison produced."""
+
+    area: str
+    regressions: List[CellRegression]
+    improvements: List[str]
+    problems: List[str]  # structural: schema/matrix mismatches
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions and not self.problems
+
+
+def noise_envelope(mean: float, std: float, k: float = DEFAULT_NOISE_K,
+                   rel_slack: float = DEFAULT_REL_SLACK) -> float:
+    """Upper bound a fresh measurement may reach without being a regression."""
+    return max(mean + k * std, mean * (1.0 + rel_slack))
+
+
+def compare_artifacts(baseline: dict, current: dict, *,
+                      k: float = DEFAULT_NOISE_K,
+                      rel_slack: float = DEFAULT_REL_SLACK,
+                      metrics: Sequence[str] = GATED_METRICS) -> GateResult:
+    """Gate ``current`` against ``baseline``; never raises on bad input."""
+    area = baseline.get("area") if isinstance(baseline, dict) else "?"
+    result = GateResult(area=str(area), regressions=[], improvements=[],
+                        problems=[])
+    for name, artifact in (("baseline", baseline), ("current", current)):
+        for problem in validate_sweep_artifact(artifact):
+            result.problems.append(f"{name} artifact: {problem}")
+    if result.problems:
+        return result
+    if baseline["area"] != current["area"]:
+        result.problems.append(
+            f"area mismatch: baseline {baseline['area']!r} vs "
+            f"current {current['area']!r}")
+        return result
+    if baseline["seeds"] != current["seeds"]:
+        result.problems.append(
+            f"seed set changed: {baseline['seeds']} -> {current['seeds']} "
+            "(noise envelopes are not comparable)")
+        return result
+    current_cells = {cell["id"]: cell for cell in current["cells"]}
+    for cell in baseline["cells"]:
+        cell_id = cell["id"]
+        fresh = current_cells.get(cell_id)
+        if fresh is None:
+            result.problems.append(f"cell {cell_id} missing from current sweep")
+            continue
+        for metric in metrics:
+            base = cell["metrics"][metric]
+            now = fresh["metrics"][metric]
+            allowed = noise_envelope(base["mean"], base["std"],
+                                     k=k, rel_slack=rel_slack)
+            if now["mean"] > allowed:
+                result.regressions.append(CellRegression(
+                    cell_id=cell_id, metric=metric,
+                    baseline_mean=base["mean"], baseline_std=base["std"],
+                    allowed=allowed, current_mean=now["mean"]))
+            elif now["mean"] < base["mean"] * (1.0 - rel_slack):
+                result.improvements.append(
+                    f"{cell_id} {metric}: {base['mean']:.6g} -> "
+                    f"{now['mean']:.6g} "
+                    f"({now['mean'] / base['mean']:.2f}x)")
+    return result
+
+
+def inject_slowdown(artifact: dict, cell_id: str, factor: float) -> dict:
+    """Scale one cell's gated metrics by ``factor`` (returns a deep copy).
+
+    This is the gate's self-test hook: a synthetic 2× slowdown injected
+    into any cell must make the gate fail and name that cell.
+    """
+    doctored = json.loads(json.dumps(artifact))
+    for cell in doctored.get("cells", []):
+        if cell.get("id") != cell_id:
+            continue
+        for metric in GATED_METRICS:
+            stats = cell["metrics"][metric]
+            stats["mean"] *= factor
+            stats["values"] = [v * factor for v in stats["values"]]
+        return doctored
+    raise KeyError(f"no sweep cell with id {cell_id!r}")
+
+
+# ----------------------------------------------------------------------
+# reports
+# ----------------------------------------------------------------------
+def format_gate_report(results: Sequence[GateResult]) -> str:
+    """Human-readable multi-area report naming every offending cell."""
+    lines: List[str] = []
+    for result in results:
+        verdict = "PASS" if result.passed else "FAIL"
+        lines.append(f"[{verdict}] bench gate: {result.area} "
+                     f"({len(result.regressions)} regression(s), "
+                     f"{len(result.problems)} problem(s), "
+                     f"{len(result.improvements)} improvement(s))")
+        for problem in result.problems:
+            lines.append(f"  problem: {problem}")
+        for regression in result.regressions:
+            lines.append(f"  regression: {regression.describe()}")
+        for improvement in result.improvements:
+            lines.append(f"  improvement: {improvement}")
+    overall = all(r.passed for r in results)
+    lines.append("perf trajectory OK" if overall
+                 else "perf trajectory REGRESSED — investigate or refresh "
+                      "the baseline (see docs/bench.md)")
+    return "\n".join(lines)
+
+
+def gate_report_payload(results: Sequence[GateResult]) -> dict:
+    """Machine-readable report (versioned like the artifacts)."""
+    return {
+        "schema": "repro.bench.gate/1",
+        "passed": all(r.passed for r in results),
+        "areas": [
+            {
+                "area": r.area,
+                "passed": r.passed,
+                "problems": list(r.problems),
+                "improvements": list(r.improvements),
+                "regressions": [
+                    {
+                        "cell": reg.cell_id,
+                        "metric": reg.metric,
+                        "baseline_mean": reg.baseline_mean,
+                        "baseline_std": reg.baseline_std,
+                        "allowed": reg.allowed,
+                        "current_mean": reg.current_mean,
+                        "ratio": reg.ratio,
+                    }
+                    for reg in r.regressions
+                ],
+            }
+            for r in results
+        ],
+    }
+
+
+def load_baseline(root, area: str) -> Optional[dict]:
+    """Load one committed baseline; None when absent."""
+    from repro.bench.artifacts import artifact_path
+
+    path = artifact_path(root, area)
+    if not path.exists():
+        return None
+    return load_sweep_artifact(path)

@@ -24,6 +24,7 @@ from repro.models.fullbatch import FullBatchTrainer, build_fullbatch_sage
 from repro.models.graphsage import build_graphsage, graphsage_sampler
 from repro.models.graphsaint import build_graphsaint, graphsaint_sampler
 from repro.models.trainer import MiniBatchTrainer, TrainConfig
+from repro.kernels.config import use_reference_kernels
 from repro.kernels.transfer import adj_to_device, to_device
 from repro.power.monitor import EnergyMonitor, EnergyReport
 from repro.profiling.profiler import PhaseProfiler
@@ -104,6 +105,7 @@ def run_training_experiment(
     checkpoint_path: Optional[str] = None,
     resume_from: Optional[str] = None,
     halt_after_epochs: Optional[int] = None,
+    fastpath: bool = True,
 ) -> ExperimentResult:
     """Train one GNN end-to-end and return breakdown + power/energy.
 
@@ -122,6 +124,11 @@ def run_training_experiment(
     ``checkpoint_every``/``checkpoint_path``/``resume_from``/
     ``halt_after_epochs`` drive checkpoint-based crash–resume (see
     ``docs/resilience.md``).
+
+    ``fastpath=False`` runs the whole experiment on the naive reference
+    kernels (:func:`repro.kernels.config.use_reference_kernels`); charged
+    virtual cost is identical either way, only wall clock moves — this is
+    the axis the perf-trajectory sweep (``repro bench sweep``) records.
     """
     if model not in MODEL_BUILDERS:
         raise BenchmarkError(f"unknown model {model!r}")
@@ -133,7 +140,8 @@ def run_training_experiment(
                   else nullcontext(None))
     fault_cm = (resilience_session(plan) if plan is not None
                 else nullcontext(None))
-    with session_cm as tsession, fault_cm as injector:
+    kernel_cm = nullcontext() if fastpath else use_reference_kernels()
+    with session_cm as tsession, fault_cm as injector, kernel_cm:
         monitor = EnergyMonitor(machine, interval=monitor_interval)
         profiler = PhaseProfiler(machine.clock)
         label = _label(framework, placement, preload, prefetch)
@@ -224,6 +232,7 @@ def run_training_experiment(
                     "feature_cache_fraction": feature_cache_fraction,
                     "cache_policy": cache_policy,
                     "num_workers": num_workers,
+                    "fastpath": fastpath,
                     "fault_plan": plan.describe() if plan is not None else "",
                     "checkpoint_every": checkpoint_every,
                     "resumed": bool(resume_from),
@@ -374,28 +383,42 @@ def measure_sampler_epoch(framework: str, dataset: str, sampler: str,
 
 def measure_conv_forward(framework: str, dataset: str, kind: str,
                          device: str = "cpu", out_features: int = 256,
-                         seed: int = 0, dataset_scale: float = 1.0) -> ExperimentResult:
-    """Figure 5: one forward pass of a conv layer over the full graph."""
+                         seed: int = 0, dataset_scale: float = 1.0,
+                         monitor_interval: float = 0.1,
+                         fastpath: bool = True) -> ExperimentResult:
+    """Figure 5: one forward pass of a conv layer over the full graph.
+
+    The run is energy-monitored so the perf-trajectory sweep can record
+    joules per op cell; ``fastpath=False`` runs the reference kernel
+    schedules (wall clock only — charged cost is schedule-invariant).
+    """
     fw = get_framework(framework)
     machine = paper_testbed()
-    fgraph = fw.load(dataset, machine, scale=dataset_scale)
     label = f"{framework}/{dataset}/{kind}/{device}"
+    monitor = EnergyMonitor(machine, interval=monitor_interval)
+    monitor.start()
+    kernel_cm = nullcontext() if fastpath else use_reference_kernels()
     try:
-        with fw.activate(), no_grad():
-            target = machine.device(device)
-            adj = adj_to_device(fgraph.adj, target, machine.pcie)
-            x = to_device(fgraph.features, target, machine.pcie)
-            in_features = fgraph.stats.num_features
-            if kind == "gcn2":
-                conv = fw.conv(kind, in_features, in_features, seed=seed)
-            else:
-                conv = fw.conv(kind, in_features, out_features, seed=seed)
-            conv.to(target)
-            start = machine.clock.now
-            conv(adj, x)
-            seconds = machine.clock.now - start
-        return ExperimentResult(label=label, phases={"forward": seconds})
+        with kernel_cm:
+            fgraph = fw.load(dataset, machine, scale=dataset_scale)
+            with fw.activate(), no_grad():
+                target = machine.device(device)
+                adj = adj_to_device(fgraph.adj, target, machine.pcie)
+                x = to_device(fgraph.features, target, machine.pcie)
+                in_features = fgraph.stats.num_features
+                if kind == "gcn2":
+                    conv = fw.conv(kind, in_features, in_features, seed=seed)
+                else:
+                    conv = fw.conv(kind, in_features, out_features, seed=seed)
+                conv.to(target)
+                start = machine.clock.now
+                conv(adj, x)
+                seconds = machine.clock.now - start
+        report = monitor.stop()
+        return ExperimentResult(label=label, phases={"forward": seconds},
+                                energy=report)
     except OutOfMemoryError as exc:
+        monitor.stop()
         return ExperimentResult(label=label, oom=True, error=str(exc))
     finally:
         gc.collect()

@@ -23,19 +23,33 @@ class RepeatedStats:
     values: tuple
 
     @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
     def mean(self) -> float:
         return sum(self.values) / len(self.values)
 
     @property
     def std(self) -> float:
+        """Sample standard deviation (Bessel-corrected, N−1 denominator).
+
+        Benches run 3–5 seed repeats; the population formula (N) would
+        understate the spread at that N and make regression-gate noise
+        envelopes too tight.  A single value carries no spread information,
+        so N=1 reports 0.
+        """
+        n = len(self.values)
+        if n < 2:
+            return 0.0
         mu = self.mean
-        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / len(self.values))
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (n - 1))
 
     @property
     def cov(self) -> float:
-        """std / mean (0 for a perfectly stable metric)."""
+        """std / |mean| (0 for a perfectly stable metric)."""
         mu = self.mean
-        return self.std / mu if mu else 0.0
+        return self.std / abs(mu) if mu else 0.0
 
 
 def run_repeated(seeds: Sequence[int], **experiment_kwargs) -> Dict[str, RepeatedStats]:

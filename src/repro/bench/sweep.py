@@ -1,0 +1,214 @@
+"""The perf-trajectory sweep matrix: kernel × framework × scale × fastpath.
+
+Following the op-level benchmarking methodology of the Argonne study and
+gSuite's framework-independent kernel matrix (PAPERS.md), the sweep
+measures a fixed grid of cells through the existing harness drivers:
+
+* ``kernels`` area — one conv-layer forward per cell
+  (:func:`~repro.bench.harness.measure_conv_forward`): the op-level view,
+  one cell per (framework, conv kind, dataset, logical scale, fastpath).
+* ``training`` area — one short end-to-end training run per cell
+  (:func:`~repro.bench.harness.run_training_experiment`): the system view
+  the paper's figures report.
+
+Every cell runs once per seed; per-metric spread is aggregated with
+:class:`~repro.bench.repeats.RepeatedStats` so the regression gate can
+build a noise envelope (mean + k·sample-std).  Virtual time and energy
+are deterministic functions of (code, seed); wall time is the only
+host-noisy metric and is recorded but not gated by default.
+
+The fastpath axis runs the *identical* public API under
+:func:`repro.kernels.config.use_reference_kernels`; by the kernel layer's
+charged-cost invariance, fast/ref cell pairs must agree on virtual time
+and energy bit-for-bit — the sweep asserts that invariant every run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.artifacts import build_sweep_artifact
+from repro.bench.harness import measure_conv_forward, run_training_experiment
+from repro.bench.repeats import RepeatedStats
+from repro.errors import BenchmarkError
+
+DEFAULT_SEEDS = (0, 1, 2)
+_FRAMEWORKS = ("dglite", "pyglite")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the sweep matrix."""
+
+    driver: str  # "conv" (kernels area) | "train" (training area)
+    framework: str
+    kernel: str  # conv kind for "conv", model name for "train"
+    dataset: str
+    scale: float
+    fastpath: bool
+
+    @property
+    def cell_id(self) -> str:
+        mode = "fast" if self.fastpath else "ref"
+        return (f"{self.driver}/{self.framework}/{self.kernel}/"
+                f"{self.dataset}/x{self.scale:g}/{mode}")
+
+    @property
+    def params(self) -> dict:
+        return {
+            "driver": self.driver,
+            "framework": self.framework,
+            "kernel": self.kernel,
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "fastpath": self.fastpath,
+        }
+
+    @classmethod
+    def from_params(cls, params: Dict) -> "SweepCell":
+        """Rebuild a cell from an artifact's recorded params.
+
+        This is how the gate re-runs exactly the baseline's matrix even
+        if the default grids below have since changed.
+        """
+        try:
+            return cls(driver=params["driver"], framework=params["framework"],
+                       kernel=params["kernel"], dataset=params["dataset"],
+                       scale=float(params["scale"]),
+                       fastpath=bool(params["fastpath"]))
+        except KeyError as exc:
+            raise BenchmarkError(f"cell params missing {exc.args[0]!r}")
+
+
+def _grid(driver: str, kernels: Sequence[str], datasets: Sequence[str],
+          scales: Sequence[float]) -> tuple:
+    return tuple(
+        SweepCell(driver, fw, kernel, dataset, scale, fastpath)
+        for fw in _FRAMEWORKS
+        for kernel in kernels
+        for dataset in datasets
+        for scale in scales
+        for fastpath in (True, False)
+    )
+
+
+# The committed-baseline grids.  Sized so a full two-area sweep stays in
+# CI-smoke territory (~seconds): small datasets, one epoch, two
+# representative batches.  ``gcn`` exercises the fused SpMM path, ``sage``
+# the dense-dominated path, ``gat`` the unfused gather/softmax/scatter
+# segment reductions the fast-path layer targets.
+KERNEL_MATRIX = _grid("conv", kernels=("gcn", "sage", "gat"),
+                      datasets=("ppi",), scales=(0.5, 1.0))
+TRAINING_MATRIX = _grid("train", kernels=("graphsage",),
+                        datasets=("ppi",), scales=(0.3, 0.6))
+
+MATRICES = {"kernels": KERNEL_MATRIX, "training": TRAINING_MATRIX}
+
+# Training-cell hyperparameters (fixed: they are part of what a cell means).
+_TRAIN_EPOCHS = 1
+_TRAIN_BATCHES = 2
+
+
+def run_cell_once(cell: SweepCell, seed: int) -> Dict[str, float]:
+    """Run one cell for one seed; returns the three per-run metrics."""
+    start = time.perf_counter()
+    if cell.driver == "conv":
+        result = measure_conv_forward(
+            cell.framework, cell.dataset, cell.kernel, device="cpu",
+            seed=seed, dataset_scale=cell.scale, fastpath=cell.fastpath)
+        if result.oom:
+            raise BenchmarkError(f"sweep cell {cell.cell_id} hit OOM: "
+                                 f"{result.error}")
+        virtual = result.phases["forward"]
+    elif cell.driver == "train":
+        result = run_training_experiment(
+            cell.framework, cell.dataset, cell.kernel, placement="cpu",
+            epochs=_TRAIN_EPOCHS, representative_batches=_TRAIN_BATCHES,
+            seed=seed, dataset_scale=cell.scale, fastpath=cell.fastpath)
+        if result.oom:
+            raise BenchmarkError(f"sweep cell {cell.cell_id} hit OOM: "
+                                 f"{result.error}")
+        virtual = result.total_time
+    else:
+        raise BenchmarkError(f"unknown sweep driver {cell.driver!r}")
+    wall = time.perf_counter() - start
+    return {"virtual_s": virtual, "wall_s": wall,
+            "energy_j": result.total_energy}
+
+
+def run_cell(cell: SweepCell, seeds: Sequence[int] = DEFAULT_SEEDS) -> dict:
+    """Measure one cell across all seeds; returns the artifact cell payload."""
+    from repro.bench.artifacts import stats_payload
+
+    if not seeds:
+        raise BenchmarkError("need at least one seed")
+    series: Dict[str, List[float]] = {}
+    for seed in seeds:
+        run = run_cell_once(cell, seed)
+        for metric, value in run.items():
+            series.setdefault(metric, []).append(value)
+    return {
+        "id": cell.cell_id,
+        "params": cell.params,
+        "metrics": {metric: stats_payload(RepeatedStats(tuple(values)))
+                    for metric, values in series.items()},
+    }
+
+
+def run_sweep(area: str, seeds: Sequence[int] = DEFAULT_SEEDS,
+              cells: Optional[Sequence[SweepCell]] = None,
+              progress=None) -> dict:
+    """Run one area's matrix and return the (validated-shape) artifact.
+
+    ``cells`` overrides the default grid — the gate passes the baseline's
+    recorded cells here.  ``progress`` is an optional ``callable(str)``
+    for CLI feedback.
+    """
+    from repro.telemetry.manifest import build_provenance
+
+    if cells is None:
+        if area not in MATRICES:
+            raise BenchmarkError(
+                f"unknown sweep area {area!r}; expected one of "
+                f"{tuple(MATRICES)}")
+        cells = MATRICES[area]
+    payloads = []
+    for cell in cells:
+        if progress is not None:
+            progress(f"  {cell.cell_id}")
+        payloads.append(run_cell(cell, seeds))
+    artifact = build_sweep_artifact(area, payloads, seeds,
+                                    provenance=build_provenance())
+    problems = check_cost_invariance(artifact)
+    if problems:
+        raise BenchmarkError(
+            "charged-cost invariance violated (fastpath changed virtual "
+            f"time or energy): {problems[0]}")
+    return artifact
+
+
+def check_cost_invariance(artifact: dict) -> List[str]:
+    """Fast/ref cell pairs must agree exactly on virtual time and energy.
+
+    The kernel layer guarantees ``use_reference_kernels()`` only changes
+    how the arithmetic is scheduled, never the charged logical cost
+    (tests/test_kernels_fastpath.py); a mismatch here means that
+    invariant broke and the artifact would record a phantom "regression".
+    """
+    problems: List[str] = []
+    by_id = {cell["id"]: cell for cell in artifact.get("cells", [])}
+    for cell_id, cell in by_id.items():
+        if not cell_id.endswith("/fast"):
+            continue
+        ref = by_id.get(cell_id[: -len("fast")] + "ref")
+        if ref is None:
+            continue
+        for metric in ("virtual_s", "energy_j"):
+            fast_values = cell["metrics"][metric]["values"]
+            ref_values = ref["metrics"][metric]["values"]
+            if fast_values != ref_values:
+                problems.append(f"{cell_id}: {metric} differs from reference "
+                                f"schedule ({fast_values} vs {ref_values})")
+    return problems

@@ -8,6 +8,8 @@ Commands mirror the paper's experiment families:
 * ``conv`` — Figure 5 (conv-layer forward runtime).
 * ``train`` — Figures 6-21 (one end-to-end training experiment).
 * ``fullbatch`` — Figures 22-24 (full-batch GraphSAGE).
+* ``bench sweep`` / ``bench gate`` — perf-trajectory sweep matrix and
+  the regression gate over the committed ``BENCH_*.json`` baselines.
 * ``lint`` — static analysis enforcing the stack's hot-path,
   determinism, and autograd invariants.
 """
@@ -124,6 +126,43 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--telemetry", default=None, metavar="DIR",
                         help="validate and summarize a telemetry output "
                              "directory instead of aggregating result tables")
+
+    bench = sub.add_parser(
+        "bench",
+        help="perf-trajectory sweeps and regression gates (BENCH_*.json)")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    sweep = bench_sub.add_parser(
+        "sweep",
+        help="run the kernel/training sweep matrix and write BENCH_*.json")
+    sweep.add_argument("--area", choices=("kernels", "training", "all"),
+                       default="all")
+    sweep.add_argument("--out-dir", default=".",
+                       help="directory for BENCH_<area>.json (default: repo "
+                            "root, i.e. the committed baselines)")
+    sweep.add_argument("--seeds", default="0,1,2",
+                       help="comma-separated seeds; the spread across them "
+                            "is the gate's noise envelope")
+
+    gate = bench_sub.add_parser(
+        "gate",
+        help="re-run the baseline's sweep cells and fail on regression "
+             "beyond the noise envelope")
+    gate.add_argument("--area", choices=("kernels", "training", "all"),
+                      default="all")
+    gate.add_argument("--baseline-dir", default=".",
+                      help="directory holding the committed BENCH_*.json")
+    gate.add_argument("--k", type=float, default=None,
+                      help="noise-envelope width: mean + k*sample_std "
+                           "(default 3.0)")
+    gate.add_argument("--rel-slack", type=float, default=None,
+                      help="relative floor for zero-std cells (default 0.02)")
+    gate.add_argument("--format", choices=("text", "json"), default="text")
+    gate.add_argument("--out", default=None,
+                      help="also write the JSON gate report to this file")
+    gate.add_argument("--inject-slowdown", default=None, metavar="CELL=FACTOR",
+                      help="self-test: scale one fresh cell's gated metrics "
+                           "by FACTOR before comparing (must fail the gate)")
 
     suite = sub.add_parser("suite", help="run a JSON experiment suite")
     suite.add_argument("path", help="suite JSON file (list of specs)")
@@ -349,6 +388,90 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_areas(value: str) -> List[str]:
+    from repro.bench.artifacts import SWEEP_AREAS
+
+    return list(SWEEP_AREAS) if value == "all" else [value]
+
+
+def _parse_seeds(value: str) -> List[int]:
+    try:
+        seeds = [int(part) for part in value.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"repro bench: invalid seed list {value!r}")
+    if not seeds:
+        raise SystemExit("repro bench: need at least one seed")
+    return seeds
+
+
+def cmd_bench_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.artifacts import artifact_path, write_sweep_artifact
+    from repro.bench.sweep import run_sweep
+
+    seeds = _parse_seeds(args.seeds)
+    for area in _bench_areas(args.area):
+        print(f"sweep: {area} (seeds {seeds})")
+        artifact = run_sweep(area, seeds=seeds, progress=print)
+        path = write_sweep_artifact(artifact_path(args.out_dir, area), artifact)
+        print(f"wrote {path} ({len(artifact['cells'])} cells)")
+    return 0
+
+
+def cmd_bench_gate(args: argparse.Namespace) -> int:
+    from repro.bench import gate as bench_gate
+    from repro.bench.sweep import SweepCell, run_sweep
+
+    k = args.k if args.k is not None else bench_gate.DEFAULT_NOISE_K
+    rel_slack = (args.rel_slack if args.rel_slack is not None
+                 else bench_gate.DEFAULT_REL_SLACK)
+    injection = None
+    if args.inject_slowdown:
+        cell_id, _, factor = args.inject_slowdown.partition("=")
+        try:
+            injection = (cell_id, float(factor))
+        except ValueError:
+            raise SystemExit("repro bench gate: --inject-slowdown expects "
+                             "CELL=FACTOR (e.g. conv/dglite/gcn/ppi/x1/fast=2)")
+    results = []
+    injected = False
+    for area in _bench_areas(args.area):
+        baseline = bench_gate.load_baseline(args.baseline_dir, area)
+        if baseline is None:
+            results.append(bench_gate.GateResult(
+                area=area, regressions=[], improvements=[],
+                problems=[f"no committed baseline BENCH_{area}.json under "
+                          f"{args.baseline_dir} (run `repro bench sweep`)"]))
+            continue
+        cells = [SweepCell.from_params(cell["params"])
+                 for cell in baseline.get("cells", [])]
+        fresh = run_sweep(area, seeds=baseline.get("seeds", [0]), cells=cells)
+        if injection is not None and any(c["id"] == injection[0]
+                                        for c in fresh["cells"]):
+            fresh = bench_gate.inject_slowdown(fresh, *injection)
+            injected = True
+        results.append(bench_gate.compare_artifacts(
+            baseline, fresh, k=k, rel_slack=rel_slack))
+    if injection is not None and not injected:
+        raise SystemExit(f"repro bench gate: --inject-slowdown cell "
+                         f"{injection[0]!r} not found in any swept area")
+    payload = bench_gate.gate_report_payload(results)
+    if args.out:
+        from repro.bench.artifacts import atomic_write_text
+
+        atomic_write_text(args.out, json.dumps(payload, indent=2) + "\n")
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(bench_gate.format_gate_report(results))
+    return 0 if payload["passed"] else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    if args.bench_command == "sweep":
+        return cmd_bench_sweep(args)
+    return cmd_bench_gate(args)
+
+
 def cmd_suite(args: argparse.Namespace) -> int:
     from repro.bench.suite import (
         compare_results,
@@ -401,6 +524,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if all(r.passed for r in results) else 1
     elif args.command == "report":
         return cmd_report(args)
+    elif args.command == "bench":
+        return cmd_bench(args)
     elif args.command == "suite":
         return cmd_suite(args)
     elif args.command == "lint":

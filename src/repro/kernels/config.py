@@ -31,6 +31,15 @@ def fastpath_enabled() -> bool:
     return _fastpath
 
 
+def kernel_mode() -> str:
+    """The active schedule as a label: ``"fast"`` or ``"reference"``.
+
+    Benchmark artifacts (``BENCH_*.json``) and telemetry provenance use
+    this to record which schedule produced a measurement.
+    """
+    return "fast" if _fastpath else "reference"
+
+
 @contextmanager
 def use_reference_kernels() -> Iterator[None]:
     """Run the enclosed block on the naive reference kernels.

@@ -46,6 +46,31 @@ _REQUIRED_KEYS = {
 _POWER_STAT_KEYS = ("avg", "p50", "p95", "peak")
 
 
+def build_provenance() -> dict:
+    """Environment fingerprint embedded in run manifests and bench artifacts.
+
+    Perf baselines (``BENCH_*.json``) outlive the environment that
+    produced them; recording the interpreter/library versions and the
+    active kernel schedule makes a drifted comparison diagnosable.
+    Everything here is deterministic within one environment, so manifest
+    byte-determinism across same-seed runs is preserved.
+    """
+    import platform
+
+    import numpy
+    import scipy
+
+    from repro.kernels.config import kernel_mode
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "platform": platform.system().lower(),
+        "kernel_mode": kernel_mode(),
+    }
+
+
 def build_run_manifest(
     *,
     command: str,
@@ -85,6 +110,7 @@ def build_run_manifest(
             "phase_spans": len(session.tracer.spans(category="phase")),
         },
         "metrics": session.metrics.snapshot(),
+        "provenance": build_provenance(),
     }
     if energy is not None:
         manifest["energy"] = {

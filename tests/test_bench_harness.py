@@ -112,3 +112,19 @@ class TestFormatting:
     def test_missing_cells_render_dash(self):
         text = format_series("t", {"a": {"x": 1.0}, "b": {}})
         assert "-" in text
+
+    def test_long_column_names_stay_aligned(self):
+        # "ogbn-products" (13 chars) used to overflow the numeric-only
+        # 12-char column width and shear every header off its values.
+        text = format_series("Fig", {"DGL": {"ogbn-products": 1.0,
+                                             "ppi": 2.0}})
+        header, row = text.splitlines()[2:4]
+        # Golden layout: 10-char label gutter, then 15-char right-aligned
+        # columns (widest name, 13 chars, + 2 padding).
+        assert header == " " * 10 + "  ogbn-products" + " " * 12 + "ppi"
+        assert row == "DGL" + " " * 7 + " " * 9 + "1.0000" + " " * 9 + "2.0000"
+        # Every value's last digit lines up under its column name's last char.
+        assert header.index("ogbn-products") + len("ogbn-products") \
+            == row.index("1.0000") + len("1.0000")
+        assert header.rstrip().endswith("ppi")
+        assert len(header) == len(row)

@@ -1,0 +1,261 @@
+"""Tests for the perf-trajectory sweep matrix, artifacts, and gate."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.artifacts import (
+    artifact_path,
+    atomic_write_text,
+    build_sweep_artifact,
+    load_sweep_artifact,
+    validate_sweep_artifact,
+    write_sweep_artifact,
+)
+from repro.bench.gate import (
+    compare_artifacts,
+    format_gate_report,
+    gate_report_payload,
+    inject_slowdown,
+    noise_envelope,
+)
+from repro.bench.repeats import RepeatedStats
+from repro.bench.sweep import (
+    SweepCell,
+    check_cost_invariance,
+    run_cell,
+    run_sweep,
+)
+from repro.cli import main
+from repro.errors import BenchmarkError
+
+# One tiny cell per driver keeps each sweep in the tens of milliseconds.
+CONV_CELL = SweepCell(driver="conv", framework="dglite", kernel="gcn",
+                      dataset="ppi", scale=0.3, fastpath=True)
+TRAIN_CELL = SweepCell(driver="train", framework="dglite", kernel="graphsage",
+                       dataset="ppi", scale=0.3, fastpath=True)
+SEEDS = (0, 1)
+
+
+def tiny_sweep(cell=TRAIN_CELL, seeds=SEEDS):
+    return run_sweep("training" if cell.driver == "train" else "kernels",
+                     seeds=seeds, cells=[cell])
+
+
+class TestSweepCells:
+    def test_cell_id_encodes_all_axes(self):
+        assert CONV_CELL.cell_id == "conv/dglite/gcn/ppi/x0.3/fast"
+        ref = SweepCell(**{**CONV_CELL.params, "fastpath": False})
+        assert ref.cell_id.endswith("/ref")
+
+    def test_params_round_trip(self):
+        assert SweepCell.from_params(TRAIN_CELL.params) == TRAIN_CELL
+
+    def test_from_params_rejects_missing_keys(self):
+        with pytest.raises(BenchmarkError):
+            SweepCell.from_params({"driver": "conv"})
+
+    def test_cell_deterministic_per_seed(self):
+        a = run_cell(TRAIN_CELL, seeds=SEEDS)
+        b = run_cell(TRAIN_CELL, seeds=SEEDS)
+        for metric in ("virtual_s", "energy_j"):
+            assert a["metrics"][metric]["values"] == b["metrics"][metric]["values"]
+
+    def test_seeds_actually_vary_training_time(self):
+        cell = run_cell(TRAIN_CELL, seeds=(0, 1, 2))
+        values = cell["metrics"]["virtual_s"]["values"]
+        assert len(set(values)) > 1
+        assert cell["metrics"]["virtual_s"]["std"] > 0
+
+    def test_unknown_driver_rejected(self):
+        bad = SweepCell(driver="warp", framework="dglite", kernel="gcn",
+                        dataset="ppi", scale=0.3, fastpath=True)
+        with pytest.raises(BenchmarkError):
+            run_cell(bad, seeds=(0,))
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(BenchmarkError):
+            run_cell(TRAIN_CELL, seeds=())
+
+
+class TestArtifacts:
+    def test_round_trip_validates(self, tmp_path):
+        artifact = tiny_sweep()
+        path = write_sweep_artifact(tmp_path / "BENCH_training.json", artifact)
+        loaded = load_sweep_artifact(path)
+        assert validate_sweep_artifact(loaded) == []
+        assert loaded == artifact
+
+    def test_artifact_has_provenance_and_seeds(self):
+        artifact = tiny_sweep(CONV_CELL)
+        assert artifact["schema"] == "repro.bench.sweep/1"
+        assert artifact["seeds"] == list(SEEDS)
+        assert "numpy" in artifact["provenance"]
+        assert artifact["provenance"]["kernel_mode"] == "fast"
+
+    def test_validator_names_problems(self):
+        assert validate_sweep_artifact([]) == ["artifact is not a JSON object"]
+        problems = validate_sweep_artifact(
+            {"schema": "nope", "area": "kernels", "seeds": [0],
+             "provenance": {}, "cells": [{"id": "x", "params": {},
+                                          "metrics": {}}]})
+        assert any("unknown schema" in p for p in problems)
+        assert any("params missing" in p for p in problems)
+        assert any("metric 'virtual_s' missing" in p for p in problems)
+
+    def test_duplicate_cell_ids_rejected(self):
+        cell = run_cell(CONV_CELL, seeds=(0,))
+        artifact = build_sweep_artifact("kernels", [cell, cell], seeds=(0,))
+        assert any("duplicate cell id" in p
+                   for p in validate_sweep_artifact(artifact))
+
+    def test_writer_refuses_invalid_artifact(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_sweep_artifact(tmp_path / "BENCH_kernels.json",
+                                 {"schema": "bad"})
+
+    def test_atomic_write_replaces_and_leaves_no_temps(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_fastpath_pair_costs_identical(self):
+        ref = SweepCell(**{**TRAIN_CELL.params, "fastpath": False})
+        artifact = run_sweep("training", seeds=(0,), cells=[TRAIN_CELL, ref])
+        assert check_cost_invariance(artifact) == []
+        fast_cell, ref_cell = artifact["cells"]
+        assert (fast_cell["metrics"]["virtual_s"]["values"]
+                == ref_cell["metrics"]["virtual_s"]["values"])
+
+
+class TestGate:
+    def test_passes_on_identical_baseline(self):
+        artifact = tiny_sweep(CONV_CELL)
+        result = compare_artifacts(artifact, artifact)
+        assert result.passed
+        assert result.regressions == []
+
+    def test_fails_on_injected_slowdown_naming_the_cell(self):
+        baseline = tiny_sweep(CONV_CELL)
+        doctored = inject_slowdown(baseline, CONV_CELL.cell_id, 2.0)
+        result = compare_artifacts(baseline, doctored)
+        assert not result.passed
+        assert {r.cell_id for r in result.regressions} == {CONV_CELL.cell_id}
+        assert {r.metric for r in result.regressions} == {"virtual_s",
+                                                          "energy_j"}
+        report = format_gate_report([result])
+        assert "FAIL" in report and CONV_CELL.cell_id in report
+
+    def test_small_drift_within_envelope_passes(self):
+        baseline = tiny_sweep(CONV_CELL)
+        nudged = inject_slowdown(baseline, CONV_CELL.cell_id, 1.01)
+        assert compare_artifacts(baseline, nudged).passed
+
+    def test_improvements_reported_not_failed(self):
+        baseline = tiny_sweep(CONV_CELL)
+        faster = inject_slowdown(baseline, CONV_CELL.cell_id, 0.5)
+        result = compare_artifacts(baseline, faster)
+        assert result.passed
+        assert any(CONV_CELL.cell_id in line for line in result.improvements)
+
+    def test_missing_cell_is_a_problem(self):
+        baseline = tiny_sweep(CONV_CELL)
+        empty = json.loads(json.dumps(baseline))
+        empty["cells"] = [dict(empty["cells"][0], id="conv/other")]
+        result = compare_artifacts(baseline, empty)
+        assert not result.passed
+        assert any("missing from current sweep" in p for p in result.problems)
+
+    def test_seed_set_change_is_a_problem(self):
+        baseline = tiny_sweep(CONV_CELL)
+        other = tiny_sweep(CONV_CELL, seeds=(0,))
+        result = compare_artifacts(baseline, other)
+        assert any("seed set changed" in p for p in result.problems)
+
+    def test_inject_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            inject_slowdown(tiny_sweep(CONV_CELL), "conv/nope", 2.0)
+
+    def test_noise_envelope_floor_for_zero_std(self):
+        assert noise_envelope(10.0, 0.0, rel_slack=0.02) == pytest.approx(10.2)
+        assert noise_envelope(10.0, 1.0, k=3.0) == pytest.approx(13.0)
+
+    def test_report_payload_schema(self):
+        artifact = tiny_sweep(CONV_CELL)
+        payload = gate_report_payload([compare_artifacts(artifact, artifact)])
+        assert payload["schema"] == "repro.bench.gate/1"
+        assert payload["passed"] is True
+        assert payload["areas"][0]["area"] == "kernels"
+
+
+class TestCli:
+    def _baseline(self, tmp_path):
+        artifact = tiny_sweep(TRAIN_CELL, seeds=(0,))
+        write_sweep_artifact(artifact_path(tmp_path, "training"), artifact)
+        return tmp_path
+
+    def test_gate_exit_zero_on_baseline(self, tmp_path, capsys):
+        root = self._baseline(tmp_path)
+        assert main(["bench", "gate", "--area", "training",
+                     "--baseline-dir", str(root)]) == 0
+        assert "perf trajectory OK" in capsys.readouterr().out
+
+    def test_gate_exit_nonzero_on_injected_slowdown(self, tmp_path, capsys):
+        root = self._baseline(tmp_path)
+        assert main(["bench", "gate", "--area", "training",
+                     "--baseline-dir", str(root),
+                     "--inject-slowdown", f"{TRAIN_CELL.cell_id}=2.0"]) == 1
+        out = capsys.readouterr().out
+        assert TRAIN_CELL.cell_id in out and "REGRESSED" in out
+
+    def test_gate_json_report_written(self, tmp_path, capsys):
+        root = self._baseline(tmp_path)
+        out_file = tmp_path / "gate.json"
+        assert main(["bench", "gate", "--area", "training",
+                     "--baseline-dir", str(root), "--format", "json",
+                     "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["passed"] is True
+        capsys.readouterr()
+
+    def test_gate_missing_baseline_fails_with_hint(self, tmp_path, capsys):
+        assert main(["bench", "gate", "--area", "kernels",
+                     "--baseline-dir", str(tmp_path)]) == 1
+        assert "repro bench sweep" in capsys.readouterr().out
+
+    def test_gate_unknown_injection_cell_rejected(self, tmp_path, capsys):
+        root = self._baseline(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["bench", "gate", "--area", "training",
+                  "--baseline-dir", str(root),
+                  "--inject-slowdown", "conv/nope=2.0"])
+        capsys.readouterr()
+
+    def test_sweep_rejects_bad_seed_list(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "sweep", "--seeds", "zero,one"])
+
+
+class TestRepeatedStatsEdgeCases:
+    def test_sample_std_uses_bessel_correction(self):
+        assert RepeatedStats((1.0, 2.0, 3.0)).std == pytest.approx(1.0)
+
+    def test_single_value_has_zero_spread(self):
+        stats = RepeatedStats((4.2,))
+        assert stats.n == 1
+        assert stats.std == 0.0
+        assert stats.cov == 0.0
+
+    def test_constant_series(self):
+        stats = RepeatedStats((5.0, 5.0, 5.0, 5.0))
+        assert stats.std == 0.0
+        assert stats.cov == 0.0
+
+    def test_negative_mean_cov_stays_positive(self):
+        stats = RepeatedStats((-1.0, -2.0, -3.0))
+        assert stats.mean == pytest.approx(-2.0)
+        assert stats.std == pytest.approx(1.0)
+        assert stats.cov == pytest.approx(0.5)
