@@ -1,0 +1,20 @@
+"""Deliberately broken fixture for the CI ``lint-deep`` self-test.
+
+This fake kernel performs raw matrix work without ever charging the
+virtual clock — exactly the cost-accounting bug UNCHARGED-COST exists to
+catch.  The shallow (flat) pass must accept this file; the deep pass
+must reject it.  CI runs both directions, so a silently-broken
+interprocedural analysis cannot pass the gate by finding nothing.
+
+Never import this module from real code.
+"""
+
+
+def _fuse(a, b):
+    # raw work, no clock.occupy on any path, and the only caller below
+    # does not charge on this function's behalf either
+    return a @ b
+
+
+def fused_uncharged_spmm(a, b):
+    return _fuse(a, b)

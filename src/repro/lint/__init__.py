@@ -10,10 +10,20 @@ patterns cannot creep back in as the codebase grows.
 Everything here is stdlib-only (``ast`` + ``tokenize``): the linter must
 run in CI before any heavy dependency is importable.
 
+Two tiers of analysis:
+
+* the **flat** rules (:data:`repro.lint.rules.RULES`) see one function
+  at a time and always run;
+* the **deep** rules (:data:`repro.lint.flow.rules.DEEP_RULES`) see the
+  whole program — call graph, effect summaries, per-function CFGs — and
+  run under ``repro lint --deep`` (see :mod:`repro.lint.flow`).
+
 Public API:
 
-* :func:`repro.lint.engine.lint_paths` — run the rules over files/dirs.
-* :data:`repro.lint.rules.RULES` — the rule registry.
+* :func:`repro.lint.engine.lint_paths` — run the rules over files/dirs
+  (``deep=True`` adds the interprocedural pass).
+* :data:`repro.lint.rules.RULES` — the flat rule registry.
+* :data:`repro.lint.flow.rules.DEEP_RULES` — the deep rule registry.
 * :class:`repro.lint.engine.Finding` — one diagnostic.
 """
 

@@ -34,11 +34,17 @@ def add_lint_parser(subparsers) -> argparse.ArgumentParser:
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
+    parser.add_argument("--deep", action="store_true",
+                        help="also run the whole-program interprocedural "
+                             "pass (call graph + effect summaries): "
+                             "UNCHARGED-COST, RNG-FLOW, STALE-CACHE, "
+                             "SPAN-FLOW, FAULT-SWALLOW")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format (default: text)")
     parser.add_argument("--select", default=None,
                         help="comma-separated rule names to run "
-                             f"(default: all of {', '.join(RULES)})")
+                             f"(default: all of {', '.join(RULES)}; deep "
+                             "rules additionally need --deep)")
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON of grandfathered findings "
                              f"(default: {DEFAULT_BASELINE_NAME} when present)")
@@ -61,8 +67,13 @@ def _resolve_baseline_path(arg: Optional[str]) -> Optional[Path]:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
+        from repro.lint.flow.rules import DEEP_RULES
+
         for rule in RULES.values():
             print(f"{rule.name:<16}{rule.severity:<9}{rule.description}")
+        for rule in DEEP_RULES.values():
+            print(f"{rule.name:<16}{rule.severity:<9}[deep] "
+                  f"{rule.description}")
         return 0
 
     select = args.select.split(",") if args.select else None
@@ -80,7 +91,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 2
 
     try:
-        result = lint_paths(args.paths, select=select, baseline=baseline)
+        result = lint_paths(args.paths, select=select, baseline=baseline,
+                            deep=args.deep)
     except KeyError as exc:
         print(f"error: {exc.args[0]}")
         return 2

@@ -73,13 +73,26 @@ class FileContext:
     tree: ast.Module
     source: str
     _parents: Optional[Dict[ast.AST, ast.AST]] = field(default=None, repr=False)
+    _walked: Optional[List[ast.AST]] = field(default=None, repr=False)
+
+    def walk(self) -> List[ast.AST]:
+        """Every node of the tree, walked once and shared by all rules.
+
+        Rules used to each call ``ast.walk`` themselves; with eight flat
+        rules that re-traversed every file eight times.  The list is
+        materialized lazily on first use and cached for the file's
+        lifetime.
+        """
+        if self._walked is None:
+            self._walked = list(ast.walk(self.tree))
+        return self._walked
 
     def parent_map(self) -> Dict[ast.AST, ast.AST]:
         """Child -> parent links, built lazily and cached per file."""
         if self._parents is None:
             self._parents = {
                 child: parent
-                for parent in ast.walk(self.tree)
+                for parent in self.walk()
                 for child in ast.iter_child_nodes(parent)
             }
         return self._parents
@@ -127,6 +140,7 @@ class LintResult:
     baselined: List[Finding]       # matched the baseline, not new
     suppressed: int                # silenced by inline comments
     files_checked: int
+    deep: bool = False             # did the interprocedural pass run?
 
     @property
     def ok(self) -> bool:
@@ -152,14 +166,20 @@ def module_name_for(path: Path) -> str:
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
-    """Yield every ``.py`` file under ``paths`` (files or directories)."""
+    """Yield every ``.py`` file under ``paths`` (files or directories).
+
+    Directory listings are sorted by POSIX string path — not by the
+    platform Path ordering — so discovery order (and with it report and
+    baseline order) is byte-identical across filesystems and OSes.
+    """
     for raw in paths:
         root = Path(raw)
         if root.is_file():
             if root.suffix == ".py":
                 yield root
         elif root.is_dir():
-            for candidate in sorted(root.rglob("*.py")):
+            for candidate in sorted(root.rglob("*.py"),
+                                    key=lambda p: p.as_posix()):
                 if any(part in SKIP_DIRS for part in candidate.parts):
                     continue
                 yield candidate
@@ -173,65 +193,138 @@ def _syntax_finding(path: str, exc: SyntaxError) -> Finding:
                    span=(line, line))
 
 
-def check_file(path: Path, rules: Sequence[Rule],
-               display_path: Optional[str] = None) -> Tuple[List[Finding], int]:
-    """Lint one file; returns (kept findings, inline-suppressed count).
+def load_context(path: Path,
+                 display_path: Optional[str] = None
+                 ) -> Tuple[Optional[FileContext], Optional[Finding]]:
+    """Parse one file into a :class:`FileContext`, once, for all rules.
 
-    A file that fails to parse yields a single ``SYNTAX`` finding — a
-    broken file must fail the gate, not silently skip every rule.
+    Returns ``(ctx, None)`` on success and ``(None, finding)`` when the
+    file is unreadable or does not parse — a broken file must fail the
+    gate, not silently skip every rule.
     """
     display = display_path if display_path is not None else path.as_posix()
     try:
         source = path.read_text(encoding="utf-8")
     except (OSError, UnicodeDecodeError) as exc:
-        return [Finding(rule="SYNTAX", severity="error", path=display, line=1,
-                        col=0, message=f"file is unreadable: {exc}",
-                        span=(1, 1))], 0
+        return None, Finding(rule="SYNTAX", severity="error", path=display,
+                             line=1, col=0,
+                             message=f"file is unreadable: {exc}",
+                             span=(1, 1))
     try:
         tree = ast.parse(source, filename=display)
     except SyntaxError as exc:
-        return [_syntax_finding(display, exc)], 0
+        return None, _syntax_finding(display, exc)
+    return FileContext(path=display, module=module_name_for(path),
+                       tree=tree, source=source), None
 
-    ctx = FileContext(path=display, module=module_name_for(path),
-                      tree=tree, source=source)
-    raw: List[Finding] = []
-    for rule in rules:
-        if rule.applies(ctx):
-            raw.extend(rule.check(ctx))
 
+def _filter_suppressed(findings: Iterable[Finding],
+                       source: str) -> Tuple[List[Finding], int]:
     suppress = suppressions_for_source(source)
     kept, silenced = [], 0
-    for f in raw:
+    for f in findings:
         if suppress.is_suppressed(f.rule, f.span):
             silenced += 1
         else:
             kept.append(f)
+    return kept, silenced
+
+
+def check_context(ctx: FileContext,
+                  rules: Sequence[Rule]) -> Tuple[List[Finding], int]:
+    """Run flat rules over one parsed context; suppression-filtered."""
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies(ctx):
+            raw.extend(rule.check(ctx))
+    kept, silenced = _filter_suppressed(raw, ctx.source)
     kept.sort(key=Finding.sort_key)
     return kept, silenced
+
+
+def check_file(path: Path, rules: Sequence[Rule],
+               display_path: Optional[str] = None) -> Tuple[List[Finding], int]:
+    """Lint one file; returns (kept findings, inline-suppressed count)."""
+    ctx, error = load_context(path, display_path)
+    if error is not None:
+        return [error], 0
+    return check_context(ctx, rules)
+
+
+def split_selection(select: Optional[Sequence[str]],
+                    deep: bool) -> Tuple[List[Rule], List[object]]:
+    """Resolve ``--select`` against both registries.
+
+    Returns (flat rules, deep rules).  Selecting a deep rule without
+    ``deep=True`` is an error — the interprocedural pass it needs would
+    not run — reported the same way as an unknown rule name.
+    """
+    from repro.lint.flow.rules import DEEP_RULES  # late: imports engine
+    from repro.lint.rules import RULES
+
+    if not select:
+        return list(RULES.values()), (list(DEEP_RULES.values()) if deep
+                                      else [])
+    wanted = {name.strip().upper() for name in select if name.strip()}
+    unknown = wanted - set(RULES) - set(DEEP_RULES)
+    if unknown:
+        raise KeyError(f"unknown rule(s) {sorted(unknown)}; available: "
+                       f"{sorted(RULES) + sorted(DEEP_RULES)}")
+    deep_wanted = wanted & set(DEEP_RULES)
+    if deep_wanted and not deep:
+        raise KeyError(f"rule(s) {sorted(deep_wanted)} are interprocedural; "
+                       "run with --deep to enable them")
+    flat = [rule for name, rule in RULES.items() if name in wanted]
+    deep_rules = [rule for name, rule in DEEP_RULES.items()
+                  if name in deep_wanted] if deep else []
+    return flat, deep_rules
 
 
 def lint_paths(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
     baseline: Optional[Dict[Tuple[str, str, str], int]] = None,
+    deep: bool = False,
 ) -> LintResult:
     """Run the registry's rules over ``paths``.
 
     ``select`` restricts to the named rules (case-insensitive).
     ``baseline`` maps :meth:`Finding.baseline_key` -> grandfathered
-    count; each key absorbs up to that many matching findings.
+    count; each key absorbs up to that many matching findings.  With
+    ``deep=True`` the parsed contexts are additionally fed to the
+    whole-program dataflow pass (:mod:`repro.lint.flow`); deep findings
+    flow through the same suppression and baseline machinery.
     """
-    from repro.lint.rules import resolve_rules  # late: registry imports Rule
-
-    rules = resolve_rules(select)
+    flat_rules, deep_rules = split_selection(select, deep)
     all_kept: List[Finding] = []
     suppressed = 0
     files = 0
+    contexts: List[FileContext] = []
     for path in iter_python_files(paths):
         files += 1
-        kept, silenced = check_file(path, rules)
+        ctx, error = load_context(path)
+        if error is not None:
+            all_kept.append(error)
+            continue
+        kept, silenced = check_context(ctx, flat_rules)
         all_kept.extend(kept)
         suppressed += silenced
+        if deep:
+            contexts.append(ctx)
+
+    if deep and contexts and deep_rules:
+        from repro.lint.flow import analyze  # late: flow imports engine
+
+        source_by_path = {ctx.path: ctx.source for ctx in contexts}
+        raw_deep = analyze(contexts, deep_rules)
+        for f in raw_deep:
+            source = source_by_path.get(f.path)
+            if source is None:
+                all_kept.append(f)
+                continue
+            kept, silenced = _filter_suppressed([f], source)
+            all_kept.extend(kept)
+            suppressed += silenced
 
     remaining = dict(baseline or {})
     new: List[Finding] = []
@@ -244,4 +337,4 @@ def lint_paths(
         else:
             new.append(f)
     return LintResult(findings=new, baselined=grandfathered,
-                      suppressed=suppressed, files_checked=files)
+                      suppressed=suppressed, files_checked=files, deep=deep)

@@ -1,0 +1,54 @@
+"""Whole-program dataflow analysis behind ``repro lint --deep``.
+
+The flat rules in :mod:`repro.lint.rules` see one function at a time;
+this package sees the program: a call graph with class/method resolution
+(:mod:`callgraph`), per-function CFGs (:mod:`cfg`), syntactic facts
+(:mod:`facts`) folded into interprocedural effect summaries
+(:mod:`effects`) by a worklist fixpoint solver (:mod:`solver`), and five
+rules over the result (:mod:`rules`): UNCHARGED-COST, RNG-FLOW,
+STALE-CACHE, SPAN-FLOW, FAULT-SWALLOW.
+
+:func:`analyze` is the engine's entry point: it takes the FileContexts
+the engine already parsed (satellite: one parse, shared everywhere) and
+returns plain Findings, so suppressions/baselines/reports need no new
+machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.flow.callgraph import Program, build_program
+from repro.lint.flow.effects import charged_context, compute_summaries
+from repro.lint.flow.facts import build_facts
+from repro.lint.flow.rules import (
+    DEEP_RULES, AnalysisState, DeepRule, resolve_deep_rules,
+)
+
+__all__ = ["analyze", "build_state", "AnalysisState", "DeepRule",
+           "DEEP_RULES", "resolve_deep_rules", "Program", "build_program"]
+
+
+def build_state(contexts: Sequence[FileContext]) -> AnalysisState:
+    """Parse-free whole-program model from already-parsed contexts."""
+    program = build_program(contexts)
+    facts = build_facts(program)
+    summaries, rng_attrs = compute_summaries(program, facts)
+    charged = charged_context(facts, summaries)
+    return AnalysisState(program=program, facts=facts, summaries=summaries,
+                         rng_attrs=rng_attrs, charged=charged)
+
+
+def analyze(contexts: Sequence[FileContext],
+            rules: Optional[Sequence[DeepRule]] = None) -> List[Finding]:
+    """Run the deep rules over every context; raw (unsuppressed) findings."""
+    if not contexts:
+        return []
+    state = build_state(contexts)
+    active = list(rules) if rules is not None else list(DEEP_RULES.values())
+    findings: List[Finding] = []
+    for rule in active:
+        findings.extend(rule.check(state))
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -1,0 +1,422 @@
+"""Whole-program model: modules, classes, functions, and call resolution.
+
+:class:`Program` is built once per ``repro lint --deep`` run from every
+parsed :class:`~repro.lint.engine.FileContext`.  It indexes
+
+* every function and method under a stable *qualname*
+  (``module:Class.method`` / ``module:func`` /
+  ``module:outer.<locals>.inner``),
+* every class with its raw base names, method table, and the types of
+  ``self.*`` attributes assigned from known constructors, and
+* each module's import bindings (``import a.b as c`` → ``c`` ↦ ``a.b``).
+
+On top of that it offers best-effort *call resolution*: given a call
+expression and a local type environment, return the qualnames of the
+in-program functions it may invoke.  Resolution is deliberately
+conservative — an unresolvable call simply produces no edge, which makes
+bottom-up effect summaries under-approximate (a rule may miss, never
+crash) and keeps the false-positive rate of the deep rules near zero.
+
+Resolution order for ``f(...)`` / ``recv.m(...)``:
+
+1. typed receiver — ``recv``'s inferred class (parameter annotations,
+   ``self``, constructor assignments, class ``attr_types``) and an MRO
+   walk for ``m``;
+2. direct name — local or imported module-level function / class
+   constructor (``Class(...)`` resolves to ``Class.__init__``);
+3. unique-name fallback — a dotted leaf that names *exactly one*
+   function in the whole program resolves to it; ambiguous names
+   resolve to nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.lint.engine import FileContext
+
+__all__ = [
+    "FunctionInfo", "ClassInfo", "Program", "build_program",
+    "dotted", "infer_env",
+]
+
+
+def dotted(node: ast.AST) -> str:
+    """``a.b.c`` for Name/Attribute chains (``""`` for anything else)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the program."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.AST                  # FunctionDef | AsyncFunctionDef
+    path: str
+    cls: Optional[str] = None      # owning class qualname for methods
+    parent: Optional[str] = None   # enclosing function qualname if nested
+
+    def __lt__(self, other: "FunctionInfo") -> bool:
+        return self.qualname < other.qualname
+
+    def is_classmethod(self) -> bool:
+        return any(
+            isinstance(d, ast.Name) and d.id in ("classmethod", "staticmethod")
+            for d in getattr(self.node, "decorator_list", [])
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: bases, methods, and attribute types."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    path: str
+    bases: List[str] = field(default_factory=list)      # raw dotted names
+    methods: Dict[str, str] = field(default_factory=dict)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+class Program:
+    """Index over every analyzed file, plus call/type resolution."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.modules: Dict[str, FileContext] = {}
+        self.imports: Dict[str, Dict[str, str]] = {}
+        self._fn_by_name: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def add_function(self, info: FunctionInfo) -> None:
+        if info.qualname in self.functions:
+            return  # duplicate module path; keep the first, deterministic
+        self.functions[info.qualname] = info
+        self._fn_by_name.setdefault(info.name, []).append(info.qualname)
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def resolve_name(self, module: str, name: str) -> str:
+        """Absolute dotted target of ``name`` as seen from ``module``."""
+        head, _, rest = name.partition(".")
+        bindings = self.imports.get(module, {})
+        if head in bindings:
+            base = bindings[head]
+            return f"{base}.{rest}" if rest else base
+        return name
+
+    def resolve_class(self, module: str, name: str) -> Optional[str]:
+        """Class qualname for a (possibly dotted/imported) class name."""
+        if not name:
+            return None
+        local = f"{module}:{name}"
+        if local in self.classes:
+            return local
+        absolute = self.resolve_name(module, name)
+        mod, _, attr = absolute.rpartition(".")
+        if mod in self.modules and f"{mod}:{attr}" in self.classes:
+            return f"{mod}:{attr}"
+        # unique-name fallback
+        candidates = [q for q in self.classes
+                      if q.rsplit(":", 1)[1] == absolute.rpartition(".")[2]]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def resolve_function_name(self, module: str, name: str) -> Optional[str]:
+        """Function qualname for a module-level (imported) function name."""
+        if not name:
+            return None
+        local = f"{module}:{name}"
+        if local in self.functions:
+            return local
+        absolute = self.resolve_name(module, name)
+        mod, _, attr = absolute.rpartition(".")
+        if mod in self.modules and f"{mod}:{attr}" in self.functions:
+            return f"{mod}:{attr}"
+        return None
+
+    def lookup_method(self, class_qualname: Optional[str],
+                      method: str) -> Optional[str]:
+        """MRO-ish lookup: ``method`` on the class or any (known) base."""
+        seen = set()
+        queue = [class_qualname] if class_qualname else []
+        while queue:
+            cq = queue.pop(0)
+            if cq is None or cq in seen:
+                continue
+            seen.add(cq)
+            cls = self.classes.get(cq)
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return cls.methods[method]
+            for base in cls.bases:
+                queue.append(self.resolve_class(cls.module, base))
+        return None
+
+    def attr_type(self, class_qualname: Optional[str],
+                  attr: str) -> Optional[str]:
+        """Inferred class of ``self.<attr>`` on instances of the class."""
+        seen = set()
+        queue = [class_qualname] if class_qualname else []
+        while queue:
+            cq = queue.pop(0)
+            if cq is None or cq in seen:
+                continue
+            seen.add(cq)
+            cls = self.classes.get(cq)
+            if cls is None:
+                continue
+            if attr in cls.attr_types:
+                return cls.attr_types[attr]
+            for base in cls.bases:
+                queue.append(self.resolve_class(cls.module, base))
+        return None
+
+    def unique_function_named(self, name: str) -> Optional[str]:
+        """The single program function with this simple name, if unique."""
+        candidates = self._fn_by_name.get(name, [])
+        return candidates[0] if len(candidates) == 1 else None
+
+    # ------------------------------------------------------------------
+    # expression typing
+    # ------------------------------------------------------------------
+    def annotation_class(self, module: str,
+                         annotation: Optional[ast.AST]) -> Optional[str]:
+        """Class named by an annotation; unwraps Optional[...] and strings."""
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            return self.resolve_class(module, annotation.value)
+        if isinstance(annotation, ast.Subscript):
+            base = dotted(annotation.value)
+            if base.rpartition(".")[2] in ("Optional", "Union"):
+                inner = annotation.slice
+                if isinstance(inner, ast.Tuple):
+                    inner = inner.elts[0] if inner.elts else None
+                return self.annotation_class(module, inner)
+            return None
+        name = dotted(annotation)
+        return self.resolve_class(module, name) if name else None
+
+    def expr_type(self, fn: FunctionInfo, env: Mapping[str, str],
+                  expr: ast.AST) -> Optional[str]:
+        """Best-effort class qualname of an expression's value."""
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            owner = self.expr_type(fn, env, expr.value)
+            return self.attr_type(owner, expr.attr)
+        if isinstance(expr, ast.Call):
+            callees = self.resolve_call(fn, env, expr)
+            for callee in callees:
+                target = self.functions.get(callee)
+                if target is None:
+                    continue
+                if target.name == "__init__" and target.cls:
+                    return target.cls
+                if target.cls and target.is_classmethod():
+                    return target.cls
+                returns = self.annotation_class(
+                    target.module, getattr(target.node, "returns", None))
+                if returns:
+                    return returns
+            # `Class(...)` where the class has no __init__ of its own
+            if isinstance(expr.func, (ast.Name, ast.Attribute)):
+                cls = self.resolve_class(fn.module, dotted(expr.func))
+                if cls is not None:
+                    return cls
+        return None
+
+    # ------------------------------------------------------------------
+    # call resolution
+    # ------------------------------------------------------------------
+    def resolve_call(self, fn: FunctionInfo, env: Mapping[str, str],
+                     call: ast.Call) -> Tuple[str, ...]:
+        """Qualnames of in-program functions this call may invoke."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            target = self.resolve_function_name(fn.module, func.id)
+            if target:
+                return (target,)
+            cls = self.resolve_class(fn.module, func.id)
+            if cls:
+                ctor = self.lookup_method(cls, "__init__")
+                return (ctor,) if ctor else ()
+            fallback = self.unique_function_named(func.id)
+            return (fallback,) if fallback else ()
+
+        if isinstance(func, ast.Attribute):
+            receiver_type = self.expr_type(fn, env, func.value)
+            if receiver_type:
+                target = self.lookup_method(receiver_type, func.attr)
+                if target:
+                    return (target,)
+            name = dotted(func)
+            if name:
+                target = self.resolve_function_name(fn.module, name)
+                if target:
+                    return (target,)
+                # Class.method / module.Class(...)
+                owner, _, attr = name.rpartition(".")
+                cls = self.resolve_class(fn.module, owner)
+                if cls:
+                    target = self.lookup_method(cls, attr)
+                    if target:
+                        return (target,)
+                cls = self.resolve_class(fn.module, name)
+                if cls:
+                    ctor = self.lookup_method(cls, "__init__")
+                    return (ctor,) if ctor else ()
+            fallback = self.unique_function_named(func.attr)
+            return (fallback,) if fallback else ()
+        return ()
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+_FN_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _collect_imports(ctx: FileContext) -> Dict[str, str]:
+    bindings: Dict[str, str] = {}
+    is_package = ctx.path.endswith("__init__.py")
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    bindings[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".", 1)[0]
+                    bindings[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parts = ctx.module.split(".") if ctx.module else []
+                if not is_package and parts:
+                    parts = parts[:-1]
+                parts = parts[:len(parts) - (node.level - 1)] \
+                    if node.level > 1 else parts
+                prefix = ".".join(parts)
+                base = f"{prefix}.{node.module}" if node.module else prefix
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                bindings[bound] = f"{base}.{alias.name}" if base else alias.name
+    return bindings
+
+
+def _register_tree(program: Program, ctx: FileContext) -> None:
+    module = ctx.module or ctx.path.rsplit("/", 1)[-1].removesuffix(".py")
+
+    def visit(node: ast.AST, qual_prefix: str, cls: Optional[ClassInfo],
+              parent_fn: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FN_NODES):
+                qualname = f"{module}:{qual_prefix}{child.name}"
+                info = FunctionInfo(
+                    qualname=qualname, module=module, name=child.name,
+                    node=child, path=ctx.path,
+                    cls=cls.qualname if cls is not None else None,
+                    parent=parent_fn)
+                program.add_function(info)
+                if cls is not None and parent_fn is None:
+                    cls.methods.setdefault(child.name, qualname)
+                visit(child, f"{qual_prefix}{child.name}.<locals>.",
+                      None, qualname)
+            elif isinstance(child, ast.ClassDef):
+                cq = f"{module}:{qual_prefix}{child.name}"
+                cinfo = ClassInfo(
+                    qualname=cq, module=module, name=child.name,
+                    node=child, path=ctx.path,
+                    bases=[dotted(b) for b in child.bases if dotted(b)])
+                program.classes.setdefault(cq, cinfo)
+                visit(child, f"{qual_prefix}{child.name}.", cinfo, None)
+            else:
+                visit(child, qual_prefix, cls, parent_fn)
+
+    visit(ctx.tree, "", None, None)
+
+
+def _infer_attr_types(program: Program) -> None:
+    """Populate ``ClassInfo.attr_types`` from ``self.x = <ctor>()`` stores."""
+    for cls in program.classes.values():
+        for method_qual in cls.methods.values():
+            fn = program.functions.get(method_qual)
+            if fn is None:
+                continue
+            env = infer_env(program, fn)
+            for stmt in ast.walk(fn.node):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                inferred = program.expr_type(fn, env, stmt.value)
+                if inferred is None:
+                    continue
+                for target in stmt.targets:
+                    if isinstance(target, ast.Attribute) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id == "self":
+                        cls.attr_types.setdefault(target.attr, inferred)
+
+
+def infer_env(program: Program, fn: FunctionInfo,
+              outer: Optional[Mapping[str, str]] = None) -> Dict[str, str]:
+    """Local type environment: parameter annotations, ``self``, and
+    single-assignment constructor calls.  ``outer`` seeds the environment
+    for nested functions, which close over the enclosing scope."""
+    env: Dict[str, str] = dict(outer or {})
+    args = fn.node.args
+    all_args = list(getattr(args, "posonlyargs", [])) + args.args \
+        + list(args.kwonlyargs)
+    for arg in all_args:
+        cls = program.annotation_class(fn.module, arg.annotation)
+        if cls:
+            env[arg.arg] = cls
+    if fn.cls and all_args and all_args[0].arg in ("self", "cls"):
+        env[all_args[0].arg] = fn.cls
+    # one forward pass over simple assignments (skip nested functions)
+    for node in ast.walk(fn.node):
+        if isinstance(node, _FN_NODES) and node is not fn.node:
+            continue
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            inferred = program.expr_type(fn, env, node.value)
+            if inferred:
+                env[node.targets[0].id] = inferred
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            cls = program.annotation_class(fn.module, node.annotation)
+            if cls:
+                env[node.target.id] = cls
+    return env
+
+
+def build_program(contexts: Sequence[FileContext]) -> Program:
+    """Index every context and run attribute-type inference."""
+    program = Program()
+    for ctx in sorted(contexts, key=lambda c: c.path):
+        module = ctx.module or ctx.path.rsplit("/", 1)[-1].removesuffix(".py")
+        program.modules.setdefault(module, ctx)
+        program.imports[module] = _collect_imports(ctx)
+        _register_tree(program, ctx)
+    _infer_attr_types(program)
+    return program

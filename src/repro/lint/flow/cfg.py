@@ -1,0 +1,224 @@
+"""Per-function control-flow graphs and a forward may-dataflow solver.
+
+The CFG is statement-granular: each executable statement becomes one
+node, plus two virtual nodes (ENTRY and EXIT).  Branching constructs
+(`if`/`while`/`for`/`try`) contribute the edges one would expect; a few
+deliberate approximations keep the graph small and the analyses sound
+for the rules built on top of it:
+
+* every statement inside a ``try`` body gets an edge to every handler of
+  that ``try`` (an exception may fire anywhere in the body);
+* ``finally`` blocks run after the normal body/handler exits, and
+  ``return``/``raise`` inside a ``try`` with a ``finally`` routes
+  *through* the finally block before reaching EXIT — a restore-in-finally
+  genuinely kills facts on the early-return path (``break``/``continue``
+  keep their direct edges; the codebase does not break out of guarded
+  loops);
+* ``with`` bodies are linear (the context manager's ``__exit__`` is not
+  modeled as a branch);
+* nested function and class definitions are opaque single statements —
+  they get their own CFG when analyzed, and interprocedural effects flow
+  through summaries, not through this graph.
+
+:func:`reach_forward` runs the classic forward may-analysis (union at
+joins, gen/kill per node) used by STALE-CACHE and SPAN-FLOW.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set
+
+ENTRY = 0
+EXIT = 1
+
+
+@dataclass
+class CFG:
+    """Control-flow graph for one function body."""
+
+    stmt_of: Dict[int, ast.stmt] = field(default_factory=dict)
+    succ: Dict[int, Set[int]] = field(default_factory=dict)
+    pred: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def nodes(self) -> List[int]:
+        return sorted(self.succ)
+
+    def add_node(self, stmt: Optional[ast.stmt] = None) -> int:
+        node = len(self.succ) if self.succ else 0
+        while node in self.succ:  # ENTRY/EXIT pre-registered out of order
+            node += 1
+        self.succ[node] = set()
+        self.pred[node] = set()
+        if stmt is not None:
+            self.stmt_of[node] = stmt
+        return node
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.succ[src].add(dst)
+        self.pred[dst].add(src)
+
+
+class _Loop:
+    """Break/continue targets for the innermost enclosing loop."""
+
+    def __init__(self, head: int) -> None:
+        self.head = head
+        self.breaks: List[int] = []
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.add_node()  # ENTRY == 0
+        self.cfg.add_node()  # EXIT == 1
+        self.loops: List[_Loop] = []
+        # one entry per enclosing try-with-finally currently being built:
+        # return/raise nodes register here instead of edging to EXIT, and
+        # get routed through the finally block once it exists.
+        self.abrupt_stack: List[List[int]] = []
+
+    # ``frontier`` is the set of nodes whose fall-through reaches the
+    # next statement; an empty frontier means control cannot arrive.
+    def seq(self, stmts: Sequence[ast.stmt], frontier: Set[int]) -> Set[int]:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self.stmt(stmt, frontier)
+        return frontier
+
+    def stmt(self, stmt: ast.stmt, frontier: Set[int]) -> Set[int]:
+        node = self.cfg.add_node(stmt)
+        for src in frontier:
+            self.cfg.add_edge(src, node)
+
+        if isinstance(stmt, ast.If):
+            then_out = self.seq(stmt.body, {node})
+            else_out = self.seq(stmt.orelse, {node}) if stmt.orelse else {node}
+            return then_out | else_out
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            loop = _Loop(node)
+            self.loops.append(loop)
+            body_out = self.seq(stmt.body, {node})
+            self.loops.pop()
+            for src in body_out:
+                self.cfg.add_edge(src, node)  # back edge
+            exits = {node} | set(loop.breaks)
+            if stmt.orelse:
+                exits = self.seq(stmt.orelse, {node}) | set(loop.breaks)
+            return exits
+
+        if isinstance(stmt, ast.Try):
+            abrupt: List[int] = []
+            if stmt.finalbody:
+                self.abrupt_stack.append(abrupt)
+            body_nodes_before = len(self.cfg.succ)
+            body_out = self.seq(stmt.body, {node})
+            # node ids are allocated consecutively, so this range is
+            # exactly the statements created for the try body
+            body_nodes = list(range(body_nodes_before, len(self.cfg.succ)))
+            handler_entries: List[int] = []
+            handler_outs: Set[int] = set()
+            for handler in stmt.handlers:
+                entry = self.cfg.add_node(handler)  # the ``except X:`` line
+                handler_entries.append(entry)
+                handler_outs |= self.seq(handler.body, {entry})
+            # an exception may fire at the try statement itself or at any
+            # statement of its body
+            for src in [node] + body_nodes:
+                for entry in handler_entries:
+                    self.cfg.add_edge(src, entry)
+            else_out = self.seq(stmt.orelse, body_out) if stmt.orelse else body_out
+            frontier = else_out | handler_outs
+            if stmt.finalbody:
+                self.abrupt_stack.pop()
+                # finally also runs when an uncaught exception escapes the
+                # body; model that with direct edges from body statements.
+                escape = set() if handler_entries else {node, *body_nodes}
+                frontier = self.seq(stmt.finalbody,
+                                    frontier | escape | set(abrupt))
+                if abrupt:
+                    # a return/raise that entered the finally leaves the
+                    # function after it — via any outer finally first.
+                    for src in frontier:
+                        self._exit_edge(src)
+            return frontier
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.seq(stmt.body, {node})
+
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._exit_edge(node)
+            return set()
+
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self.loops[-1].breaks.append(node)
+            else:
+                self.cfg.add_edge(node, EXIT)
+            return set()
+
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                self.cfg.add_edge(node, self.loops[-1].head)
+            else:
+                self.cfg.add_edge(node, EXIT)
+            return set()
+
+        # plain statement (incl. nested def/class, treated opaquely)
+        return {node}
+
+    def _exit_edge(self, node: int) -> None:
+        """Leave the function from ``node`` — through the innermost
+        enclosing try-with-finally when there is one."""
+        if self.abrupt_stack:
+            self.abrupt_stack[-1].append(node)
+        else:
+            self.cfg.add_edge(node, EXIT)
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """Build the CFG for a FunctionDef / AsyncFunctionDef body."""
+    builder = _Builder()
+    body = getattr(fn, "body", [])
+    frontier = builder.seq(body, {ENTRY})
+    for src in frontier:
+        builder.cfg.add_edge(src, EXIT)
+    if not body:
+        builder.cfg.add_edge(ENTRY, EXIT)
+    return builder.cfg
+
+
+def reach_forward(
+    cfg: CFG,
+    gen: Dict[int, FrozenSet[Hashable]],
+    kill: Dict[int, FrozenSet[Hashable]],
+) -> Dict[int, FrozenSet[Hashable]]:
+    """Forward may-analysis: IN[n] = ∪ OUT[p]; OUT[n] = (IN[n] − kill) ∪ gen.
+
+    Returns the IN set of every node — the facts that *may* hold just
+    before the node executes on at least one path.
+    """
+    empty: FrozenSet[Hashable] = frozenset()
+    in_sets: Dict[int, FrozenSet[Hashable]] = {n: empty for n in cfg.succ}
+    out_sets: Dict[int, FrozenSet[Hashable]] = {n: empty for n in cfg.succ}
+    queue = deque(sorted(cfg.succ))
+    queued = set(queue)
+    while queue:
+        node = queue.popleft()
+        queued.discard(node)
+        new_in = empty
+        for p in cfg.pred[node]:
+            new_in |= out_sets[p]
+        new_out = (new_in - kill.get(node, empty)) | gen.get(node, empty)
+        in_sets[node] = new_in
+        if new_out != out_sets[node]:
+            out_sets[node] = new_out
+            for s in cfg.succ[node]:
+                if s not in queued:
+                    queue.append(s)
+                    queued.add(s)
+    return in_sets

@@ -1,0 +1,333 @@
+"""Interprocedural effect summaries over the facts lattice.
+
+Each function gets one :class:`Summary` — a point in a finite product
+lattice (booleans ordered False ⊑ True, sets by inclusion) — computed to
+a least fixpoint over the call graph by :mod:`repro.lint.flow.solver`:
+
+* ``charges`` — some statement reaches a virtual-clock charge primitive,
+  directly or through any resolved callee;
+* ``may_raise`` — protected exceptions (:data:`PROTECTED_EXCEPTIONS`)
+  that can escape the function: direct raises plus callee ``may_raise``,
+  minus whatever enclosing handlers absorb at each site;
+* ``returns_rng`` / ``returns_param`` / ``param_attr_stores`` — RNG
+  provenance: does the return value carry an unseeded generator, which
+  parameters flow through to the return value unchanged, and which
+  parameters get stored onto ``self.<attr>``;
+* ``returns_open_span`` — the return value is an open telemetry span
+  (a ``start_span`` result, transitively);
+* ``reads_cache`` / ``invalidates_cache`` — touches SparseAdj's derived
+  caches / resets them to ``None``.
+
+RNG taint through *attributes* needs a global map (class attr → tainted)
+that itself depends on summaries, so :func:`compute_summaries` iterates
+summary-fixpoint → attr collection until the attr map stabilizes (in
+practice one extra round).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lint.flow.callgraph import FunctionInfo, Program, dotted
+from repro.lint.flow.facts import (
+    CACHE_ACCESSORS, CACHE_SLOTS, PROTECTED_EXCEPTIONS, SPAN_OPEN_LEAF,
+    CallSite, FunctionFacts,
+)
+from repro.lint.flow.solver import fixpoint
+
+_FN_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: (class qualname, attribute) -> qualname of the function that tainted it.
+RngAttrMap = Dict[Tuple[str, str], str]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """One function's externally-visible effects."""
+
+    charges: bool = False
+    may_raise: FrozenSet[str] = frozenset()
+    returns_rng: bool = False
+    returns_param: FrozenSet[int] = frozenset()
+    param_attr_stores: FrozenSet[Tuple[int, str]] = frozenset()
+    returns_open_span: bool = False
+    reads_cache: bool = False
+    invalidates_cache: bool = False
+
+
+BOTTOM = Summary()
+
+
+def _param_names(info: FunctionInfo) -> List[str]:
+    args = info.node.args
+    return [a.arg for a in
+            list(getattr(args, "posonlyargs", [])) + args.args
+            + list(args.kwonlyargs)]
+
+
+def _iter_own_nodes(fn_node: ast.AST):
+    """Walk a function body without descending into nested definitions."""
+    stack = list(ast.iter_child_nodes(fn_node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FN_NODES) or isinstance(node, ast.ClassDef):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _reads_cache_directly(info: FunctionInfo) -> bool:
+    for node in _iter_own_nodes(info.node):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in CACHE_ACCESSORS:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in CACHE_SLOTS \
+                and isinstance(node.ctx, ast.Load):
+            return True
+    return False
+
+
+def _invalidates_cache_directly(info: FunctionInfo) -> bool:
+    for node in _iter_own_nodes(info.node):
+        if isinstance(node, ast.Assign) \
+                and isinstance(node.value, ast.Constant) \
+                and node.value.value is None:
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) \
+                        and target.attr in CACHE_SLOTS:
+                    return True
+    return False
+
+
+class _TaintPass:
+    """Intra-procedural RNG/span value taint, given callee summaries.
+
+    Statements are visited in source order, twice, so taint introduced by
+    a later-defined local still reaches uses inside loops.  Nested
+    function definitions are skipped — they are summarized separately.
+    """
+
+    def __init__(self, facts: FunctionFacts, state: Dict[str, Summary],
+                 rng_attrs: RngAttrMap) -> None:
+        self.facts = facts
+        self.state = state
+        self.rng_attrs = rng_attrs
+        self.site_by_node = {id(s.node): s for s in facts.calls}
+        self.rng_source_ids = {id(n) for n in facts.rng_sources}
+        self.params = _param_names(facts.info)
+        self.rng_vars: Set[str] = set()
+        self.span_vars: Set[str] = set()
+        self.returns_rng = False
+        self.returns_span = False
+        self.returns_param: Set[int] = set()
+        self.param_attr_stores: Set[Tuple[int, str]] = set()
+        self.attr_stores: Set[str] = set()  # rng-tainted self attributes
+
+    def run(self) -> None:
+        for _ in range(2):
+            self._stmts(self.facts.info.node.body)
+
+    # -- taint predicates ------------------------------------------------
+    def _callee_summaries(self, node: ast.AST) -> List[Summary]:
+        site = self.site_by_node.get(id(node))
+        if site is None:
+            return []
+        return [self.state.get(c, BOTTOM) for c in site.callees]
+
+    def rng_value(self, expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in self.rng_vars
+        if isinstance(expr, ast.Attribute) and self.facts.info.cls \
+                and isinstance(expr.value, ast.Name) \
+                and expr.value.id == "self":
+            return (self.facts.info.cls, expr.attr) in self.rng_attrs
+        if isinstance(expr, ast.Call):
+            if id(expr) in self.rng_source_ids:
+                return True
+            for summary in self._callee_summaries(expr):
+                if summary.returns_rng:
+                    return True
+                offset = 1 if isinstance(expr.func, ast.Attribute) else 0
+                for i, arg in enumerate(expr.args):
+                    if i + offset in summary.returns_param \
+                            and self.rng_value(arg):
+                        return True
+        return False
+
+    def span_value(self, expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in self.span_vars
+        if isinstance(expr, ast.Call):
+            name = dotted(expr.func)
+            if name.rpartition(".")[2] == SPAN_OPEN_LEAF:
+                return True
+            return any(s.returns_open_span
+                       for s in self._callee_summaries(expr))
+        return False
+
+    # -- statement walk --------------------------------------------------
+    def _stmts(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, _FN_NODES) or isinstance(stmt, ast.ClassDef):
+                continue
+            if isinstance(stmt, ast.Assign):
+                self._assign(stmt.targets, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self._assign([stmt.target], stmt.value)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                if self.rng_value(stmt.value):
+                    self.returns_rng = True
+                if self.span_value(stmt.value):
+                    self.returns_span = True
+                if isinstance(stmt.value, ast.Name) \
+                        and stmt.value.id in self.params:
+                    self.returns_param.add(self.params.index(stmt.value.id))
+            for attr in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, attr, None)
+                if isinstance(nested, list):
+                    self._stmts(nested)
+            for handler in getattr(stmt, "handlers", []) or []:
+                self._stmts(handler.body)
+
+    def _assign(self, targets: List[ast.AST], value: ast.AST) -> None:
+        rng = self.rng_value(value)
+        span = self.span_value(value)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if rng:
+                    self.rng_vars.add(target.id)
+                else:
+                    self.rng_vars.discard(target.id)
+                if span:
+                    self.span_vars.add(target.id)
+                else:
+                    self.span_vars.discard(target.id)
+            elif isinstance(target, ast.Attribute) \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self":
+                if rng:
+                    self.attr_stores.add(target.attr)
+                if isinstance(value, ast.Name) and value.id in self.params:
+                    self.param_attr_stores.add(
+                        (self.params.index(value.id), target.attr))
+
+
+def _transfer(qualname: str, state: Dict[str, Summary],
+              facts_map: Dict[str, FunctionFacts],
+              rng_attrs: RngAttrMap,
+              direct_reads: Dict[str, bool],
+              direct_invalidates: Dict[str, bool]) -> Summary:
+    facts = facts_map[qualname]
+    charges = bool(facts.charges)
+    may_raise: Set[str] = {r.name for r in facts.raises
+                           if r.name not in r.caught}
+    reads = direct_reads[qualname]
+    invalidates = direct_invalidates[qualname]
+    for site in facts.calls:
+        for callee in site.callees:
+            summary = state.get(callee, BOTTOM)
+            charges = charges or summary.charges
+            may_raise |= summary.may_raise - site.caught
+            reads = reads or summary.reads_cache
+            invalidates = invalidates or summary.invalidates_cache
+    taint = _TaintPass(facts, state, rng_attrs)
+    taint.run()
+    return Summary(
+        charges=charges,
+        may_raise=frozenset(may_raise & PROTECTED_EXCEPTIONS),
+        returns_rng=taint.returns_rng,
+        returns_param=frozenset(taint.returns_param),
+        param_attr_stores=frozenset(taint.param_attr_stores),
+        returns_open_span=taint.returns_span,
+        reads_cache=reads,
+        invalidates_cache=invalidates,
+    )
+
+
+def _collect_rng_attrs(facts_map: Dict[str, FunctionFacts],
+                       state: Dict[str, Summary]) -> RngAttrMap:
+    """Tainted (class, attr) pairs: direct stores plus parameters that a
+    callee stores onto its own instance when called with a tainted arg."""
+    attrs: RngAttrMap = {}
+    rng_attrs_prev: RngAttrMap = {}
+    for qualname in sorted(facts_map):
+        facts = facts_map[qualname]
+        taint = _TaintPass(facts, state, rng_attrs_prev)
+        taint.run()
+        if facts.info.cls:
+            for attr in sorted(taint.attr_stores):
+                attrs.setdefault((facts.info.cls, attr), qualname)
+        for site in facts.calls:
+            for callee in site.callees:
+                summary = state.get(callee, BOTTOM)
+                if not summary.param_attr_stores:
+                    continue
+                offset = 1 if isinstance(site.node, ast.Call) \
+                    and isinstance(site.node.func, ast.Attribute) else 0
+                for index, attr in sorted(summary.param_attr_stores):
+                    arg_index = index - offset
+                    args = getattr(site.node, "args", [])
+                    if 0 <= arg_index < len(args) \
+                            and taint.rng_value(args[arg_index]):
+                        cls = _callee_class(callee)
+                        if cls:
+                            attrs.setdefault((cls, attr), qualname)
+    return attrs
+
+
+def _callee_class(qualname: str) -> Optional[str]:
+    # "module:Class.method" -> "module:Class"
+    module, _, qpath = qualname.partition(":")
+    owner, _, _ = qpath.rpartition(".")
+    return f"{module}:{owner}" if owner and "<locals>" not in owner else None
+
+
+def compute_summaries(
+        program: Program,
+        facts_map: Dict[str, FunctionFacts],
+) -> Tuple[Dict[str, Summary], RngAttrMap]:
+    """Fixpoint summaries plus the global RNG-tainted-attribute map."""
+    deps = {q: sorted({c for site in f.calls for c in site.callees})
+            for q, f in facts_map.items()}
+    direct_reads = {q: _reads_cache_directly(f.info)
+                    for q, f in facts_map.items()}
+    direct_invalidates = {q: _invalidates_cache_directly(f.info)
+                          for q, f in facts_map.items()}
+    rng_attrs: RngAttrMap = {}
+    state: Dict[str, Summary] = {}
+    for _ in range(3):
+        state = fixpoint(
+            facts_map.keys(), deps,
+            lambda q, s: _transfer(q, s, facts_map, rng_attrs,
+                                   direct_reads, direct_invalidates),
+            lambda q: BOTTOM)
+        new_attrs = _collect_rng_attrs(facts_map, state)
+        if new_attrs == rng_attrs:
+            break
+        rng_attrs = new_attrs
+    return state, rng_attrs
+
+
+def charged_context(facts_map: Dict[str, FunctionFacts],
+                    summaries: Dict[str, Summary]) -> Dict[str, bool]:
+    """Least fixpoint of: ICC(f) ⇔ f has callers and every caller either
+    charges itself or is in charged context.  A function that is true
+    here delegates its cost accounting upward by design (e.g. SparseAdj
+    segment reductions, charged by every kernel that calls them)."""
+    callers: Dict[str, Set[str]] = {}
+    for qualname, facts in facts_map.items():
+        for site in facts.calls:
+            for callee in site.callees:
+                callers.setdefault(callee, set()).add(qualname)
+    deps = {q: sorted(callers.get(q, ())) for q in facts_map}
+
+    def transfer(q: str, state: Dict[str, bool]) -> bool:
+        cs = callers.get(q)
+        if not cs:
+            return False
+        return all(summaries.get(c, BOTTOM).charges or state.get(c, False)
+                   for c in cs)
+
+    return fixpoint(facts_map.keys(), deps, transfer, lambda q: False)

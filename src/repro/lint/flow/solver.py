@@ -1,0 +1,75 @@
+"""Worklist fixpoint solver for interprocedural summaries.
+
+The deep rules all reduce to the same shape: a per-function value from a
+small join-semilattice (effect bits, may-raise sets, taint flags), a
+transfer function that recomputes one function's value from its
+dependencies' current values, and a dependency relation (callees for
+bottom-up summaries, callers for top-down context facts).  This module
+implements the classic Kildall chaotic-iteration worklist over that
+shape, deterministic and cycle-safe:
+
+* nodes are seeded in sorted order so iteration order (and therefore any
+  tie-breaking) is stable across runs and platforms;
+* recursion and mutual recursion converge because transfer functions are
+  monotone over finite lattices — a cycle simply iterates until its
+  members stop changing;
+* a generous iteration cap guards against a non-monotone transfer
+  (a bug in a rule) turning the linter into an infinite loop; hitting it
+  returns the partial (sound-but-approximate) state instead of hanging
+  CI.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, Iterable, Mapping, TypeVar
+
+N = TypeVar("N", bound=Hashable)
+V = TypeVar("V")
+
+#: Re-visits allowed per node before the solver declares non-convergence.
+#: Real lattices here have height <= a handful; 50 is absurdly generous.
+MAX_VISITS_PER_NODE = 50
+
+
+def fixpoint(
+    nodes: Iterable[N],
+    dependencies: Mapping[N, Iterable[N]],
+    transfer: Callable[[N, Dict[N, V]], V],
+    bottom: Callable[[N], V],
+) -> Dict[N, V]:
+    """Solve ``state[n] = transfer(n, state)`` to a fixpoint.
+
+    ``dependencies[n]`` lists the nodes whose state ``transfer(n, ...)``
+    reads; when one of those changes, ``n`` is re-queued.  ``bottom``
+    supplies each node's initial (least) value.  Returns the final state
+    map.  Unknown dependencies (not in ``nodes``) are ignored — the
+    transfer function sees them as absent and must treat absence as
+    bottom.
+    """
+    ordered = sorted(nodes)
+    state: Dict[N, V] = {n: bottom(n) for n in ordered}
+
+    dependents: Dict[N, list] = {n: [] for n in ordered}
+    for n in ordered:
+        for dep in dependencies.get(n, ()):
+            if dep in dependents:
+                dependents[dep].append(n)
+
+    queue = deque(ordered)
+    queued = set(ordered)
+    visits: Dict[N, int] = {}
+    while queue:
+        n = queue.popleft()
+        queued.discard(n)
+        visits[n] = visits.get(n, 0) + 1
+        if visits[n] > MAX_VISITS_PER_NODE:
+            continue  # non-monotone transfer; keep the approximate state
+        new = transfer(n, state)
+        if new != state[n]:
+            state[n] = new
+            for dep in dependents[n]:
+                if dep not in queued:
+                    queue.append(dep)
+                    queued.add(dep)
+    return state

@@ -1,13 +1,14 @@
 """Finding formatters: human text and a stable machine-readable JSON.
 
-The JSON schema (version 1) is a contract for downstream tooling
+The JSON schema (version 2) is a contract for downstream tooling
 (pre-commit hooks, dashboards); it is documented in ``docs/lint.md`` and
 covered by ``tests/test_lint.py``::
 
     {
-      "version": 1,
+      "version": 2,
       "tool": "repro-lint",
       "ok": bool,                  # no new findings
+      "deep": bool,                # interprocedural pass ran (--deep)
       "summary": {
         "files_checked": int,
         "new": int,                # findings that gate (exit 1)
@@ -23,7 +24,9 @@ covered by ``tests/test_lint.py``::
     }
 
 Fields are only ever *added* within a schema version; removals or
-renames bump ``version``.
+renames bump ``version``.  Version 2 added the top-level ``deep`` flag
+alongside the ``repro lint --deep`` interprocedural pass, so consumers
+can tell a clean shallow run from a clean deep run.
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ from typing import Dict
 
 from repro.lint.engine import LintResult
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def format_text(result: LintResult, verbose: bool = False) -> str:
@@ -64,6 +67,7 @@ def to_json_payload(result: LintResult) -> Dict[str, object]:
         "version": SCHEMA_VERSION,
         "tool": "repro-lint",
         "ok": result.ok,
+        "deep": result.deep,
         "summary": {
             "files_checked": result.files_checked,
             "new": len(result.findings),

@@ -170,7 +170,7 @@ class HotLoopRule(Rule):
         return _in_hot_path(ctx)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             iters: List[ast.AST] = []
             if isinstance(node, (ast.For, ast.AsyncFor)):
                 iters.append(node.iter)
@@ -216,7 +216,7 @@ class RngSeedRule(Rule):
                    "runs are reproducible and frameworks comparable")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             name = dotted_name(node.func)
@@ -309,7 +309,7 @@ class InplaceGradRule(Rule):
         )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, ast.Assign):
                 targets = []
                 for t in node.targets:
@@ -395,7 +395,7 @@ class ParamRegRule(Rule):
         return ctx.module == "repro" or ctx.module.startswith("repro.")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for cls in ast.walk(ctx.tree):
+        for cls in ctx.walk():
             if not isinstance(cls, ast.ClassDef):
                 continue
             for fn in cls.body:
@@ -464,7 +464,7 @@ class DtypeDriftRule(Rule):
         return _in_hot_path(ctx)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
@@ -528,7 +528,7 @@ class AddAtRule(Rule):
         )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             name = dotted_name(node.func)
@@ -554,17 +554,18 @@ TELEMETRY_METRIC_CLASSES = {"Counter", "Gauge", "Histogram"}
 _SPAN_FACTORIES = {"span", "phase", "maybe_span"}
 
 
-def _telemetry_metric_imports(tree: ast.AST) -> tuple:
+def _telemetry_metric_imports(nodes) -> tuple:
     """(class name bindings, module aliases) for repro.telemetry imports.
 
     Tracks both ``from repro.telemetry... import Counter [as C]`` (class
     bindings) and ``from repro.telemetry import metrics as m`` / ``import
     repro.telemetry.metrics as m`` (module aliases through which
-    ``m.Counter(...)`` still bypasses the registry).
+    ``m.Counter(...)`` still bypasses the registry).  ``nodes`` is the
+    file's shared pre-walked node list (``ctx.walk()``).
     """
     classes: Dict[str, str] = {}
     modules: set = set()
-    for node in ast.walk(tree):
+    for node in nodes:
         if isinstance(node, ast.ImportFrom) and node.module \
                 and node.module.startswith("repro.telemetry"):
             for alias in node.names:
@@ -602,8 +603,8 @@ class TelemetryLeakRule(Rule):
         return isinstance(parent, ast.Expr)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        metric_imports, metric_modules = _telemetry_metric_imports(ctx.tree)
-        for node in ast.walk(ctx.tree):
+        metric_imports, metric_modules = _telemetry_metric_imports(ctx.walk())
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
@@ -716,7 +717,7 @@ class BareRetryRule(Rule):
                     or ctx.module.startswith("repro.resilience."))
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.While):
                 continue
             test = node.test

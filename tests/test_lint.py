@@ -450,9 +450,10 @@ def test_json_payload_schema(tmp_path):
     path = write_module(tmp_path, "anywhere.py", BASELINE_SRC)
     payload = to_json_payload(lint_paths([str(path)]))
 
-    assert payload["version"] == SCHEMA_VERSION == 1
+    assert payload["version"] == SCHEMA_VERSION == 2
     assert payload["tool"] == "repro-lint"
     assert payload["ok"] is False
+    assert payload["deep"] is False
     summary = payload["summary"]
     assert set(summary) == {"files_checked", "new", "baselined", "suppressed",
                             "by_rule", "by_severity"}
