@@ -176,6 +176,19 @@ def _validate_cell(cell: object, seeds: object) -> List[str]:
                             f"for {len(seeds)} seeds")
         if stats.get("n") != (len(values) if isinstance(values, list) else None):
             problems.append(f"metric {name!r}.n disagrees with values")
+    attribution = cell.get("attribution")
+    if attribution is not None:  # optional: absent in pre-PR-8 baselines
+        if not isinstance(attribution, dict):
+            problems.append("attribution must be an object")
+        else:
+            for axis in ("phases", "kernel_families"):
+                section = attribution.get(axis)
+                if section is None:
+                    continue
+                if not isinstance(section, dict) or not all(
+                        isinstance(v, (int, float)) for v in section.values()):
+                    problems.append(f"attribution.{axis} must map names "
+                                    "to numbers")
     return problems
 
 

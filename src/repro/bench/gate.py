@@ -44,6 +44,9 @@ class CellRegression:
     baseline_std: float
     allowed: float
     current_mean: float
+    # Differential-profiling attribution: which phases / kernel families
+    # moved between the baseline's recorded breakdown and the fresh run.
+    hints: tuple = ()
 
     @property
     def ratio(self) -> float:
@@ -106,22 +109,66 @@ def compare_artifacts(baseline: dict, current: dict, *,
         if fresh is None:
             result.problems.append(f"cell {cell_id} missing from current sweep")
             continue
+        hints = None
         for metric in metrics:
             base = cell["metrics"][metric]
             now = fresh["metrics"][metric]
             allowed = noise_envelope(base["mean"], base["std"],
                                      k=k, rel_slack=rel_slack)
             if now["mean"] > allowed:
+                if hints is None:
+                    hints = attribution_hints(cell, fresh)
                 result.regressions.append(CellRegression(
                     cell_id=cell_id, metric=metric,
                     baseline_mean=base["mean"], baseline_std=base["std"],
-                    allowed=allowed, current_mean=now["mean"]))
+                    allowed=allowed, current_mean=now["mean"],
+                    hints=hints))
             elif now["mean"] < base["mean"] * (1.0 - rel_slack):
                 result.improvements.append(
                     f"{cell_id} {metric}: {base['mean']:.6g} -> "
                     f"{now['mean']:.6g} "
                     f"({now['mean'] / base['mean']:.2f}x)")
     return result
+
+
+def attribution_hints(baseline_cell: dict, fresh_cell: dict,
+                      per_axis: int = 3) -> tuple:
+    """Attribute one cell's regression to phases / kernel families.
+
+    Runs the differential profiler's delta classifier over the
+    ``attribution`` breakdowns recorded in each sweep cell (first seed's
+    phase and kernel-family virtual seconds), so a gate failure names
+    *where* the time appeared, not just that it did.  Empty when neither
+    cell recorded attribution (pre-PR-8 baselines).
+    """
+    from repro.profiling.analysis.diff import classify_deltas
+
+    base_attr = baseline_cell.get("attribution") or {}
+    fresh_attr = fresh_cell.get("attribution") or {}
+    hints = []
+    for axis, title in (("phases", "phase"),
+                        ("kernel_families", "kernel family")):
+        base_map = {str(k): float(v)
+                    for k, v in (base_attr.get(axis) or {}).items()}
+        fresh_map = {str(k): float(v)
+                     for k, v in (fresh_attr.get(axis) or {}).items()}
+        if not base_map and not fresh_map:
+            continue
+        classified = classify_deltas(base_map, fresh_map)
+        entries = [(bucket, entry)
+                   for bucket in ("grown", "appeared", "shrunk", "vanished")
+                   for entry in classified[bucket]]
+        entries.sort(key=lambda item: (-abs(item[1]["delta"]),
+                                       item[1]["key"]))
+        for bucket, entry in entries[:per_axis]:
+            hints.append(
+                f"{title} {entry['key']} {bucket}: "
+                f"{entry['base']:.6g}s -> {entry['current']:.6g}s "
+                f"({entry['delta']:+.6g}s)")
+    if not hints and (base_attr or fresh_attr):
+        hints.append("attribution unchanged — regression is outside the "
+                     "recorded phase/kernel breakdown (wall-only?)")
+    return tuple(hints)
 
 
 def inject_slowdown(artifact: dict, cell_id: str, factor: float) -> dict:
@@ -138,6 +185,15 @@ def inject_slowdown(artifact: dict, cell_id: str, factor: float) -> dict:
             stats = cell["metrics"][metric]
             stats["mean"] *= factor
             stats["values"] = [v * factor for v in stats["values"]]
+        attribution = cell.get("attribution")
+        if isinstance(attribution, dict):
+            # Scale the breakdown with the metrics so the self-test also
+            # exercises the gate's regression-attribution hints.
+            for axis in ("phases", "kernel_families"):
+                section = attribution.get(axis)
+                if isinstance(section, dict):
+                    attribution[axis] = {key: value * factor
+                                         for key, value in section.items()}
         return doctored
     raise KeyError(f"no sweep cell with id {cell_id!r}")
 
@@ -156,8 +212,14 @@ def format_gate_report(results: Sequence[GateResult]) -> str:
                      f"{len(result.improvements)} improvement(s))")
         for problem in result.problems:
             lines.append(f"  problem: {problem}")
+        hinted = set()
         for regression in result.regressions:
             lines.append(f"  regression: {regression.describe()}")
+            if regression.cell_id in hinted:
+                continue
+            hinted.add(regression.cell_id)
+            for hint in regression.hints:
+                lines.append(f"    attribution: {hint}")
         for improvement in result.improvements:
             lines.append(f"  improvement: {improvement}")
     overall = all(r.passed for r in results)
@@ -187,6 +249,7 @@ def gate_report_payload(results: Sequence[GateResult]) -> dict:
                         "allowed": reg.allowed,
                         "current_mean": reg.current_mean,
                         "ratio": reg.ratio,
+                        "hints": list(reg.hints),
                     }
                     for reg in r.regressions
                 ],

@@ -271,6 +271,7 @@ def _write_telemetry(out_dir: str, session: TelemetrySession, machine: Machine,
         kernel_families=result.kernel_families,
         session=session,
         energy=result.energy,
+        hardware=machine.describe(),
         extra=extra,
     )
     return write_run_artifacts(out_dir, session, machine.clock, manifest)
@@ -415,8 +416,11 @@ def measure_conv_forward(framework: str, dataset: str, kind: str,
                 conv(adj, x)
                 seconds = machine.clock.now - start
         report = monitor.stop()
+        from repro.profiling.kernel_report import group_by_family
+
         return ExperimentResult(label=label, phases={"forward": seconds},
-                                energy=report)
+                                energy=report,
+                                kernel_families=group_by_family(machine))
     except OutOfMemoryError as exc:
         monitor.stop()
         return ExperimentResult(label=label, oom=True, error=str(exc))

@@ -111,8 +111,13 @@ _TRAIN_EPOCHS = 1
 _TRAIN_BATCHES = 2
 
 
-def run_cell_once(cell: SweepCell, seed: int) -> Dict[str, float]:
-    """Run one cell for one seed; returns the three per-run metrics."""
+def run_cell_once(cell: SweepCell, seed: int):
+    """Run one cell for one seed.
+
+    Returns ``(metrics, attribution)``: the three per-run metrics plus
+    the phase / kernel-family virtual-second breakdown the gate uses to
+    explain a regression (``repro profile`` attribution hints).
+    """
     start = time.perf_counter()
     if cell.driver == "conv":
         result = measure_conv_forward(
@@ -134,8 +139,14 @@ def run_cell_once(cell: SweepCell, seed: int) -> Dict[str, float]:
     else:
         raise BenchmarkError(f"unknown sweep driver {cell.driver!r}")
     wall = time.perf_counter() - start
-    return {"virtual_s": virtual, "wall_s": wall,
-            "energy_j": result.total_energy}
+    metrics = {"virtual_s": virtual, "wall_s": wall,
+               "energy_j": result.total_energy}
+    attribution = {
+        "phases": {k: float(v) for k, v in sorted(result.phases.items())},
+        "kernel_families": {k: float(v) for k, v
+                            in sorted(result.kernel_families.items())},
+    }
+    return metrics, attribution
 
 
 def run_cell(cell: SweepCell, seeds: Sequence[int] = DEFAULT_SEEDS) -> dict:
@@ -145,8 +156,13 @@ def run_cell(cell: SweepCell, seeds: Sequence[int] = DEFAULT_SEEDS) -> dict:
     if not seeds:
         raise BenchmarkError("need at least one seed")
     series: Dict[str, List[float]] = {}
+    attribution: Optional[dict] = None
     for seed in seeds:
-        run = run_cell_once(cell, seed)
+        run, attr = run_cell_once(cell, seed)
+        if attribution is None:
+            # First seed's breakdown; virtual time is deterministic per
+            # seed, so one representative is enough for the gate's hints.
+            attribution = {"seed": int(seed), **attr}
         for metric, value in run.items():
             series.setdefault(metric, []).append(value)
     return {
@@ -154,6 +170,7 @@ def run_cell(cell: SweepCell, seeds: Sequence[int] = DEFAULT_SEEDS) -> dict:
         "params": cell.params,
         "metrics": {metric: stats_payload(RepeatedStats(tuple(values)))
                     for metric, values in series.items()},
+        "attribution": attribution,
     }
 
 

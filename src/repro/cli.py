@@ -10,6 +10,8 @@ Commands mirror the paper's experiment families:
 * ``fullbatch`` — Figures 22-24 (full-batch GraphSAGE).
 * ``bench sweep`` / ``bench gate`` — perf-trajectory sweep matrix and
   the regression gate over the committed ``BENCH_*.json`` baselines.
+* ``profile analyze`` / ``profile diff`` — offline critical-path,
+  roofline, and differential analysis over telemetry directories.
 * ``lint`` — static analysis enforcing the stack's hot-path,
   determinism, and autograd invariants.
 """
@@ -106,6 +108,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--halt-after", type=int, default=None, metavar="E",
                        help="stop after E epochs as a simulated crash "
                             "(pair with --checkpoint-every, then resume)")
+    train.add_argument("--reference-kernels", action="store_true",
+                       help="run on the naive reference kernel schedule "
+                            "(A/B partner for `repro profile diff`; charged "
+                            "virtual cost is identical to the fast path)")
 
     fullbatch = sub.add_parser("fullbatch", help="Figures 22-24: full-batch SAGE")
     fullbatch.add_argument("--framework", choices=FRAMEWORKS, default="dglite")
@@ -126,6 +132,35 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--telemetry", default=None, metavar="DIR",
                         help="validate and summarize a telemetry output "
                              "directory instead of aggregating result tables")
+    report.add_argument("--top", type=int, default=0, metavar="N",
+                        help="with --telemetry: show the top N kernels in "
+                             "the breakdown (default: all)")
+    report.add_argument("--sort", choices=("virtual", "flops", "bytes"),
+                        default="virtual",
+                        help="with --telemetry: kernel breakdown sort axis "
+                             "(default: virtual seconds)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="offline analysis over telemetry artifacts (repro.profile/1)")
+    profile_sub = profile.add_subparsers(dest="profile_command", required=True)
+    analyze = profile_sub.add_parser(
+        "analyze",
+        help="critical path + roofline + flamegraph for one run directory")
+    analyze.add_argument("dir", help="telemetry directory from "
+                                     "`repro train --telemetry DIR`")
+    analyze.add_argument("--out", default=None, metavar="DIR",
+                         help="write profile.json/flame.folded here instead "
+                              "of into the run directory")
+    analyze.add_argument("--format", choices=("text", "json"), default="text")
+    pdiff = profile_sub.add_parser(
+        "diff",
+        help="attribute the virtual-time delta between two run directories")
+    pdiff.add_argument("base", help="baseline telemetry directory")
+    pdiff.add_argument("current", help="comparison telemetry directory")
+    pdiff.add_argument("--out", default=None, metavar="FILE",
+                       help="also write the repro.profile/1 diff JSON here")
+    pdiff.add_argument("--format", choices=("text", "json"), default="text")
 
     bench = sub.add_parser(
         "bench",
@@ -248,6 +283,7 @@ def cmd_train(args: argparse.Namespace) -> None:
             num_workers=args.workers,
             seed=args.seed,
             telemetry_dir=telemetry_dir,
+            fastpath=not args.reference_kernels,
             fault_plan=fault_plan,
             checkpoint_every=args.checkpoint_every,
             checkpoint_path=checkpoint,
@@ -293,10 +329,15 @@ def cmd_fullbatch(args: argparse.Namespace) -> None:
               f"energy {result.total_energy:.1f} J")
 
 
-def cmd_telemetry_report(out_dir: str) -> int:
+def cmd_telemetry_report(out_dir: str, top: int = 0,
+                         sort: str = "virtual") -> int:
     """Validate a telemetry bundle and print the run summary."""
     from pathlib import Path
 
+    from repro.profiling.kernel_report import (
+        format_metric_kernel_table,
+        kernel_rows_from_metrics,
+    )
     from repro.telemetry.manifest import load_run_manifest, validate_run_dir
 
     problems = validate_run_dir(out_dir)
@@ -316,6 +357,10 @@ def cmd_telemetry_report(out_dir: str) -> int:
     spans = manifest["spans"]
     print(f"  spans: {spans['count']} ({spans['phase_spans']} phase, "
           f"max depth {spans['max_depth']}); metrics: {len(manifest['metrics'])}")
+    rows = kernel_rows_from_metrics(manifest["metrics"], sort=sort, top=top)
+    if rows:
+        for line in format_metric_kernel_table(rows, sort=sort).splitlines():
+            print(f"  {line}")
     fastpath = {}
     for record in manifest["metrics"]:
         if record["name"] in ("kernel.fastpath.hit", "kernel.fastpath.miss"):
@@ -368,7 +413,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     if args.telemetry:
-        return cmd_telemetry_report(args.telemetry)
+        return cmd_telemetry_report(args.telemetry, top=args.top,
+                                    sort=args.sort)
     results_dir = Path(args.results_dir)
     files = sorted(results_dir.glob("*.txt"))
     if not files:
@@ -466,6 +512,42 @@ def cmd_bench_gate(args: argparse.Namespace) -> int:
     return 0 if payload["passed"] else 1
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.errors import BenchmarkError
+
+    try:
+        if args.profile_command == "analyze":
+            from repro.profiling.analysis import (
+                analyze_run_dir,
+                format_profile_report,
+            )
+
+            payload = analyze_run_dir(args.dir, out_dir=args.out)
+            if args.format == "json":
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                print(format_profile_report(payload))
+                for name, path in sorted(payload["artifacts"].items()):
+                    print(f"wrote {name}: {path}")
+            return 0
+        from repro.profiling.analysis import diff_run_dirs, format_diff_report
+
+        payload = diff_run_dirs(args.base, args.current)
+        if args.out:
+            from repro.profiling.analysis import write_profile_json
+
+            path = write_profile_json(args.out, payload)
+            print(f"wrote diff: {path}")
+        if args.format == "json":
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(format_diff_report(payload))
+        return 0
+    except BenchmarkError as exc:
+        print(f"repro profile: {exc}")
+        return 1
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     if args.bench_command == "sweep":
         return cmd_bench_sweep(args)
@@ -524,6 +606,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if all(r.passed for r in results) else 1
     elif args.command == "report":
         return cmd_report(args)
+    elif args.command == "profile":
+        return cmd_profile(args)
     elif args.command == "bench":
         return cmd_bench(args)
     elif args.command == "suite":

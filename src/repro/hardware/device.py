@@ -99,6 +99,8 @@ class Device:
         if registry is not None:
             labels = {"device": self.name, "kernel": cost.name}
             registry.counter("kernel.invocations", **labels).inc(cost.launches)
+            if seconds:
+                registry.counter("kernel.busy_seconds", **labels).inc(seconds)
             if cost.flops:
                 registry.counter("kernel.flops", **labels).inc(cost.flops)
             if cost.bytes_moved:

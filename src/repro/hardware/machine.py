@@ -122,6 +122,44 @@ class Machine:
         """Energy (joules) consumed by a device over [start, end)."""
         return self.power_draw(device_key, start, end) * max(0.0, end - start)
 
+    def describe(self) -> Dict[str, object]:
+        """Static hardware description for run manifests (``run.json``).
+
+        The offline profile analyses (:mod:`repro.profiling.analysis`)
+        join per-kernel flop/byte counters against these peaks to place
+        every kernel on the roofline, so the payload must name devices
+        exactly as the clock's busy lanes do (``spec.name``).
+        """
+        devices: Dict[str, object] = {}
+        for dev in (self.cpu, self.gpu):
+            if dev is None:
+                continue
+            devices[dev.name] = {
+                "kind": dev.kind,
+                "peak_flops": dev.spec.peak_flops,
+                "mem_bandwidth": dev.spec.mem_bandwidth,
+                "mem_capacity": dev.spec.mem_capacity,
+                "kernel_launch_overhead": dev.spec.kernel_launch_overhead,
+                "idle_power": dev.spec.idle_power,
+                "busy_power": dev.spec.busy_power,
+            }
+        return {
+            "devices": devices,
+            "link": {
+                "name": self.pcie.spec.name,
+                "lane": self.pcie.BUSY_KEY,
+                "bandwidth": self.pcie.spec.bandwidth,
+                "latency": self.pcie.spec.latency,
+                "uva_bandwidth": self.pcie.spec.uva_bandwidth,
+            },
+            "storage": {
+                "name": self.storage.name,
+                "lane": "storage",
+                "read_bandwidth": self.storage.read_bandwidth,
+                "seek_latency": self.storage.seek_latency,
+            },
+        }
+
     def counters_snapshot(self) -> Dict[str, float]:
         """Aggregate activity counters, mainly for reports and tests."""
         snap = {

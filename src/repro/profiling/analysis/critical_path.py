@@ -1,0 +1,148 @@
+"""Critical-path extraction over the merged device timeline.
+
+The virtual clock records one busy interval per kernel/transfer on each
+lane (CPU, GPU, PCIe, storage, sampler workers, replicas).  The chain of
+intervals that *bounds* end-to-end time is recovered with a backward
+walk: starting from the makespan, repeatedly pick the interval whose end
+is latest at the current frontier (ties broken by longest duration, then
+lane/name order — fully deterministic), jump to its start, and account
+any uncovered gap as idle time.  Overlapped work that finishes earlier
+than the picked interval is, by construction, off the critical path —
+which is exactly what makes overlap-hiding refactors measurable: time a
+lane spends *off* the path is its slack.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence
+
+from repro.profiling.analysis.bundle import LaneInterval, RunBundle
+
+#: Two interval ends within this distance count as the same instant.
+EPS = 1e-9
+
+#: Chronological segments kept in the payload (the full chain can run to
+#: thousands of kernels; aggregates in ``by_lane``/``top`` stay exact).
+MAX_SEGMENTS = 400
+
+#: Aggregated (lane, kernel) contributors reported.
+TOP_CONTRIBUTORS = 20
+
+
+def extract_critical_path(bundle: RunBundle) -> dict:
+    """The critical-path analysis payload for one run."""
+    intervals = [iv for iv in bundle.intervals if iv.duration > EPS]
+    if not intervals:
+        return {
+            "makespan": 0.0,
+            "total_seconds": bundle.total_seconds,
+            "critical_seconds": 0.0,
+            "idle_seconds": 0.0,
+            "coverage": 0.0,
+            "segments": [],
+            "segments_total": 0,
+            "by_lane": {},
+            "top": [],
+        }
+    chain, idle = _walk(intervals)
+    merged = _merge_chain(chain)
+    critical_total = sum(seg["seconds"] for seg in merged)
+    makespan = max(iv.end for iv in intervals)
+    by_lane = _lane_stats(intervals, merged, makespan)
+    return {
+        "makespan": makespan,
+        "total_seconds": bundle.total_seconds,
+        "critical_seconds": critical_total,
+        "idle_seconds": idle,
+        "coverage": critical_total / makespan if makespan > 0 else 0.0,
+        "segments": merged[:MAX_SEGMENTS],
+        "segments_total": len(merged),
+        "by_lane": by_lane,
+        "top": _top_contributors(merged),
+    }
+
+
+def _walk(intervals: Sequence[LaneInterval]):
+    """Backward walk from the makespan; returns (chain, idle_seconds).
+
+    The chain comes out in reverse-chronological order.
+    """
+    by_end = sorted(intervals, key=lambda iv: (iv.end, iv.duration,
+                                               iv.lane, iv.name))
+    ends = [iv.end for iv in by_end]
+    t = ends[-1]
+    chain: List[LaneInterval] = []
+    idle = 0.0
+    while t > EPS:
+        idx = bisect.bisect_right(ends, t + EPS) - 1
+        if idx < 0:
+            idle += t
+            break
+        frontier = by_end[idx].end
+        if frontier < t - EPS:
+            idle += t - frontier
+            t = frontier
+            continue
+        # Collect every interval ending at the frontier instant and pick
+        # the bounding one: longest first, then lane/name order.
+        best = by_end[idx]
+        j = idx - 1
+        while j >= 0 and ends[j] >= frontier - EPS:
+            candidate = by_end[j]
+            key = (-candidate.duration, candidate.lane, candidate.name)
+            if key < (-best.duration, best.lane, best.name):
+                best = candidate
+            j -= 1
+        chain.append(best)
+        t = best.start
+    return chain, idle
+
+
+def _merge_chain(chain: Sequence[LaneInterval]) -> List[dict]:
+    """Chronological segments, consecutive same-(lane, name) runs merged."""
+    merged: List[dict] = []
+    for iv in reversed(chain):
+        if merged and merged[-1]["lane"] == iv.lane \
+                and merged[-1]["name"] == iv.name \
+                and iv.start <= merged[-1]["end"] + EPS:
+            merged[-1]["end"] = iv.end
+            merged[-1]["seconds"] += iv.duration
+            merged[-1]["count"] += 1
+            continue
+        merged.append({"lane": iv.lane, "name": iv.name, "start": iv.start,
+                       "end": iv.end, "seconds": iv.duration, "count": 1})
+    return merged
+
+
+def _lane_stats(intervals: Sequence[LaneInterval], merged: Sequence[dict],
+                makespan: float) -> Dict[str, dict]:
+    busy: Dict[str, float] = {}
+    for iv in intervals:
+        busy[iv.lane] = busy.get(iv.lane, 0.0) + iv.duration
+    critical: Dict[str, float] = {}
+    for seg in merged:
+        critical[seg["lane"]] = critical.get(seg["lane"], 0.0) + seg["seconds"]
+    return {
+        lane: {
+            "busy_seconds": busy.get(lane, 0.0),
+            "critical_seconds": critical.get(lane, 0.0),
+            # Slack: time this lane sat idle while the run progressed —
+            # the headroom an overlap refactor could hide work in.
+            "slack_seconds": max(0.0, makespan - busy.get(lane, 0.0)),
+        }
+        for lane in sorted(busy)
+    }
+
+
+def _top_contributors(merged: Sequence[dict]) -> List[dict]:
+    totals: Dict[tuple, dict] = {}
+    for seg in merged:
+        key = (seg["lane"], seg["name"])
+        entry = totals.setdefault(key, {"lane": seg["lane"], "name": seg["name"],
+                                        "seconds": 0.0, "count": 0})
+        entry["seconds"] += seg["seconds"]
+        entry["count"] += seg["count"]
+    ranked = sorted(totals.values(),
+                    key=lambda e: (-e["seconds"], e["lane"], e["name"]))
+    return ranked[:TOP_CONTRIBUTORS]

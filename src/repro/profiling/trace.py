@@ -1,76 +1,41 @@
-"""Chrome-trace export of the simulated timeline.
+"""Chrome-trace export of the simulated timeline (compatibility shim).
 
-Writes the virtual clock's busy intervals as a Chrome Trace Event JSON
-(load in ``chrome://tracing`` or Perfetto) so the simulated machine's
-timeline — CPU kernels, GPU kernels, PCIe transfers, storage reads — can
-be inspected visually, kernel by kernel.
+Historically this module owned its own device-lane Chrome-trace writer
+while :mod:`repro.telemetry.exporters` grew a second, merged one.  The
+implementations are now deduplicated: the single lane-id scheme and
+event builder live in the exporters module, and everything here is a
+thin delegation kept for the established public API (``trace_events``,
+``write_trace``, ``summarize_trace``).
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Union
 
 from repro.simtime import VirtualClock
-
-#: Stable thread ids per device lane in the trace viewer.
-_LANES = ("storage", "pcie")
 
 
 def trace_events(clock: VirtualClock, time_unit: float = 1e6) -> List[dict]:
     """Busy intervals as Chrome 'complete' (ph=X) events.
 
-    ``time_unit`` scales seconds into the trace's microsecond timestamps.
-    Lane (tid) assignment is deterministic: the well-known ``_LANES``
-    devices get fixed ids, remaining devices are numbered by sorted name
-    rather than first-seen order, so traces from two runs of the same
-    config diff cleanly.
+    Delegates to :func:`repro.telemetry.exporters.device_trace_events`,
+    the one device-lane trace implementation.
     """
-    lanes = {device: tid for tid, device in enumerate(_LANES)}
-    seen = {interval.device for interval in clock.busy_intervals()}
-    for device in sorted(seen - set(_LANES)):
-        lanes[device] = len(lanes)
+    from repro.telemetry.exporters import device_trace_events
 
-    def lane_id(device: str) -> int:
-        if device not in lanes:  # devices appearing mid-iteration
-            lanes[device] = len(lanes)
-        return lanes[device]
-
-    events = []
-    for interval in clock.busy_intervals():
-        events.append({
-            "name": interval.tag or "busy",
-            "cat": interval.device,
-            "ph": "X",
-            "ts": interval.start * time_unit,
-            "dur": interval.duration * time_unit,
-            "pid": 0,
-            "tid": lane_id(interval.device),
-        })
-    # lane naming metadata
-    for device, tid in lanes.items():
-        events.append({
-            "name": "thread_name",
-            "ph": "M",
-            "pid": 0,
-            "tid": tid,
-            "args": {"name": device},
-        })
-    return events
+    return device_trace_events(clock, time_unit)
 
 
 def write_trace(clock: VirtualClock, path: Union[str, Path]) -> Path:
-    """Write the timeline to ``path`` as a Chrome trace JSON file."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {
-        "traceEvents": trace_events(clock),
-        "displayTimeUnit": "ms",
-        "metadata": {"source": "repro simulated machine"},
-    }
-    path.write_text(json.dumps(payload))
-    return path
+    """Write the timeline to ``path`` as a Chrome trace JSON file.
+
+    Delegates to the merged-trace writer with no span tracer, so the
+    device-only and merged traces share one payload format.
+    """
+    from repro.telemetry.exporters import write_merged_trace
+
+    return write_merged_trace(path, clock, tracer=None)
 
 
 def summarize_trace(clock: VirtualClock) -> dict:

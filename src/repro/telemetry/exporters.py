@@ -21,7 +21,6 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.profiling.trace import trace_events
 from repro.simtime import VirtualClock
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.runtime import TelemetrySession
@@ -79,6 +78,54 @@ def write_prometheus(path: Union[str, Path], registry: MetricsRegistry) -> Path:
 # ----------------------------------------------------------------------
 # merged Chrome trace
 # ----------------------------------------------------------------------
+#: Stable thread ids for the well-known device lanes in the trace viewer.
+DEVICE_LANES = ("storage", "pcie")
+
+
+def device_trace_events(clock: VirtualClock, time_unit: float = 1e6) -> List[dict]:
+    """Device busy intervals as Chrome 'complete' (ph=X) events (pid 0).
+
+    ``time_unit`` scales seconds into the trace's microsecond timestamps.
+    Lane (tid) assignment is deterministic: the well-known
+    :data:`DEVICE_LANES` get fixed ids, remaining devices are numbered by
+    sorted name rather than first-seen order, so traces from two runs of
+    the same config diff cleanly.  This is the single device-lane trace
+    implementation; the legacy :mod:`repro.profiling.trace` module
+    delegates here.
+    """
+    lanes = {device: tid for tid, device in enumerate(DEVICE_LANES)}
+    seen = {interval.device for interval in clock.busy_intervals()}
+    for device in sorted(seen - set(DEVICE_LANES)):
+        lanes[device] = len(lanes)
+
+    def lane_id(device: str) -> int:
+        if device not in lanes:  # devices appearing mid-iteration
+            lanes[device] = len(lanes)
+        return lanes[device]
+
+    events = []
+    for interval in clock.busy_intervals():
+        events.append({
+            "name": interval.tag or "busy",
+            "cat": interval.device,
+            "ph": "X",
+            "ts": interval.start * time_unit,
+            "dur": interval.duration * time_unit,
+            "pid": DEVICE_PID,
+            "tid": lane_id(interval.device),
+        })
+    # lane naming metadata
+    for device, tid in lanes.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": DEVICE_PID,
+            "tid": tid,
+            "args": {"name": device},
+        })
+    return events
+
+
 def span_trace_events(tracer: SpanTracer, time_unit: float = 1e6) -> List[dict]:
     """Spans as Chrome 'complete' events, one thread lane per depth."""
     events: List[dict] = []
@@ -114,7 +161,7 @@ def span_trace_events(tracer: SpanTracer, time_unit: float = 1e6) -> List[dict]:
 def merged_trace_events(clock: VirtualClock, tracer: Optional[SpanTracer],
                         time_unit: float = 1e6) -> List[dict]:
     """Device busy intervals (pid 0) merged with spans (pid 1)."""
-    events = trace_events(clock, time_unit)
+    events = device_trace_events(clock, time_unit)
     events.append({
         "name": "process_name", "ph": "M", "pid": DEVICE_PID,
         "args": {"name": "simulated devices"},

@@ -41,6 +41,7 @@ _REQUIRED_KEYS = {
     "kernel_families": dict,
     "spans": dict,
     "metrics": list,
+    "hardware": dict,
 }
 
 _POWER_STAT_KEYS = ("avg", "p50", "p95", "peak")
@@ -82,6 +83,7 @@ def build_run_manifest(
     kernel_families: Dict[str, float],
     session: TelemetrySession,
     energy=None,
+    hardware: Optional[Dict[str, object]] = None,
     extra: Optional[Dict[str, object]] = None,
 ) -> dict:
     """Assemble the deterministic run summary.
@@ -110,6 +112,7 @@ def build_run_manifest(
             "phase_spans": len(session.tracer.spans(category="phase")),
         },
         "metrics": session.metrics.snapshot(),
+        "hardware": dict(hardware or {}),
         "provenance": build_provenance(),
     }
     if energy is not None:
@@ -173,6 +176,7 @@ def validate_run_manifest(manifest: object) -> List[str]:
             problems.append(f"spans.{key} must be a non-negative integer")
     for record in manifest["metrics"]:
         problems.extend(_validate_metric_record(record))
+    problems.extend(_validate_hardware(manifest["hardware"]))
     energy = manifest.get("energy")
     if energy is not None:
         problems.extend(_validate_energy(energy))
@@ -198,6 +202,40 @@ def _validate_metric_record(record: object) -> List[str]:
     elif kind in ("counter", "gauge"):
         if not isinstance(record.get("value"), (int, float)):
             problems.append(f"metric {record.get('name')!r} missing value")
+    return problems
+
+
+def _validate_hardware(hardware: object) -> List[str]:
+    """Shape-check the machine description (empty = legacy producer)."""
+    if not isinstance(hardware, dict):
+        return ["hardware is not an object"]
+    if not hardware:
+        return []
+    problems = []
+    devices = hardware.get("devices")
+    if not isinstance(devices, dict):
+        return ["hardware.devices missing or not an object"]
+    for name, spec in devices.items():
+        if not isinstance(spec, dict):
+            problems.append(f"hardware.devices[{name!r}] is not an object")
+            continue
+        if spec.get("kind") not in ("cpu", "gpu"):
+            problems.append(f"hardware.devices[{name!r}].kind must be cpu/gpu")
+        for key in ("peak_flops", "mem_bandwidth"):
+            value = spec.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(
+                    f"hardware.devices[{name!r}].{key} must be positive")
+    for section, rate_key in (("link", "bandwidth"),
+                              ("storage", "read_bandwidth")):
+        payload = hardware.get(section)
+        if payload is None:
+            continue
+        if not isinstance(payload, dict):
+            problems.append(f"hardware.{section} is not an object")
+        elif not isinstance(payload.get(rate_key), (int, float)):
+            problems.append(f"hardware.{section}.{rate_key} missing or "
+                            "non-numeric")
     return problems
 
 
