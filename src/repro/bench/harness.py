@@ -99,6 +99,7 @@ def run_training_experiment(
     feature_cache_fraction: float = 0.0,
     cache_policy: str = "degree",
     num_workers: int = 0,
+    pipeline: str = "off",
     telemetry_dir: Optional[str] = None,
     fault_plan: Optional[Union[str, Dict, FaultPlan]] = None,
     checkpoint_every: int = 0,
@@ -125,6 +126,11 @@ def run_training_experiment(
     ``halt_after_epochs`` drive checkpoint-based crash–resume (see
     ``docs/resilience.md``).
 
+    ``pipeline`` ("off" or "depth-N") streams mini-batches through the
+    composable datapipe (``docs/datapipe.md``): sampler workers, feature
+    fetch, H2D copy, and training each get their own resource lane and
+    up to N batches are in flight.  "off" charges the serial schedule.
+
     ``fastpath=False`` runs the whole experiment on the naive reference
     kernels (:func:`repro.kernels.config.use_reference_kernels`); charged
     virtual cost is identical either way, only wall clock moves — this is
@@ -144,7 +150,7 @@ def run_training_experiment(
     with session_cm as tsession, fault_cm as injector, kernel_cm:
         monitor = EnergyMonitor(machine, interval=monitor_interval)
         profiler = PhaseProfiler(machine.clock)
-        label = _label(framework, placement, preload, prefetch)
+        label = _label(framework, placement, preload, prefetch, pipeline)
         monitor.start()
         try:
             with profiler.phase("data_loading"):
@@ -155,6 +161,7 @@ def run_training_experiment(
                 preload=preload,
                 prefetch=prefetch,
                 num_workers=num_workers,
+                pipeline=pipeline,
                 representative_batches=representative_batches,
                 seed=seed,
                 checkpoint_every=checkpoint_every,
@@ -232,6 +239,7 @@ def run_training_experiment(
                     "feature_cache_fraction": feature_cache_fraction,
                     "cache_policy": cache_policy,
                     "num_workers": num_workers,
+                    "pipeline": pipeline,
                     "fastpath": fastpath,
                     "fault_plan": plan.describe() if plan is not None else "",
                     "checkpoint_every": checkpoint_every,
@@ -277,7 +285,8 @@ def _write_telemetry(out_dir: str, session: TelemetrySession, machine: Machine,
     return write_run_artifacts(out_dir, session, machine.clock, manifest)
 
 
-def _label(framework: str, placement: str, preload: bool, prefetch: bool) -> str:
+def _label(framework: str, placement: str, preload: bool, prefetch: bool,
+           pipeline: str = "off") -> str:
     nick = {"dglite": "DGL", "pyglite": "PyG"}.get(framework, framework)
     place = {
         "cpu": "CPU",
@@ -287,6 +296,8 @@ def _label(framework: str, placement: str, preload: bool, prefetch: bool) -> str
     }[placement]
     suffix = "+preload" if preload else ""
     suffix += "+prefetch" if prefetch else ""
+    if pipeline not in ("", "off"):
+        suffix += f"+pipe{pipeline.replace('depth-', '')}"
     return f"{nick}-{place}{suffix}"
 
 

@@ -48,12 +48,22 @@ class SweepCell:
     dataset: str
     scale: float
     fastpath: bool
+    # Training-only axes; the defaults keep pre-existing cell ids stable.
+    placement: str = "cpu"
+    pipeline: str = "off"
 
     @property
     def cell_id(self) -> str:
         mode = "fast" if self.fastpath else "ref"
-        return (f"{self.driver}/{self.framework}/{self.kernel}/"
-                f"{self.dataset}/x{self.scale:g}/{mode}")
+        cid = (f"{self.driver}/{self.framework}/{self.kernel}/"
+               f"{self.dataset}/x{self.scale:g}")
+        if self.placement != "cpu":
+            cid += f"/{self.placement}"
+        if self.pipeline != "off":
+            cid += f"/{self.pipeline}"
+        # Mode stays the last segment: the cost-invariance check pairs
+        # cells by swapping a trailing "/fast" for "/ref".
+        return f"{cid}/{mode}"
 
     @property
     def params(self) -> dict:
@@ -64,6 +74,8 @@ class SweepCell:
             "dataset": self.dataset,
             "scale": self.scale,
             "fastpath": self.fastpath,
+            "placement": self.placement,
+            "pipeline": self.pipeline,
         }
 
     @classmethod
@@ -77,7 +89,9 @@ class SweepCell:
             return cls(driver=params["driver"], framework=params["framework"],
                        kernel=params["kernel"], dataset=params["dataset"],
                        scale=float(params["scale"]),
-                       fastpath=bool(params["fastpath"]))
+                       fastpath=bool(params["fastpath"]),
+                       placement=str(params.get("placement", "cpu")),
+                       pipeline=str(params.get("pipeline", "off")))
         except KeyError as exc:
             raise BenchmarkError(f"cell params missing {exc.args[0]!r}")
 
@@ -104,6 +118,19 @@ KERNEL_MATRIX = _grid("conv", kernels=("gcn", "sage", "gat"),
 TRAINING_MATRIX = _grid("train", kernels=("graphsage",),
                         datasets=("ppi",), scales=(0.3, 0.6))
 
+# The datapipe ablation axis: serial vs depth-4 streaming on the
+# CPU-sample/GPU-train placement, at both logical scales.  The gate
+# tracks the pipelined cells' virtual time like any other metric, so a
+# change that erodes the overlap win trips the regression envelope.
+PIPELINE_MATRIX = tuple(
+    SweepCell("train", "dglite", "graphsage", "ppi", scale, fastpath,
+              placement="cpugpu", pipeline=pipeline)
+    for scale in (0.3, 0.6)
+    for pipeline in ("off", "depth-4")
+    for fastpath in (True, False)
+)
+TRAINING_MATRIX = TRAINING_MATRIX + PIPELINE_MATRIX
+
 MATRICES = {"kernels": KERNEL_MATRIX, "training": TRAINING_MATRIX}
 
 # Training-cell hyperparameters (fixed: they are part of what a cell means).
@@ -129,7 +156,8 @@ def run_cell_once(cell: SweepCell, seed: int):
         virtual = result.phases["forward"]
     elif cell.driver == "train":
         result = run_training_experiment(
-            cell.framework, cell.dataset, cell.kernel, placement="cpu",
+            cell.framework, cell.dataset, cell.kernel,
+            placement=cell.placement, pipeline=cell.pipeline,
             epochs=_TRAIN_EPOCHS, representative_batches=_TRAIN_BATCHES,
             seed=seed, dataset_scale=cell.scale, fastpath=cell.fastpath)
         if result.oom:

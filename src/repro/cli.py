@@ -87,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--cache-fraction", type=float, default=0.0)
     train.add_argument("--workers", type=int, default=0,
                        help="parallel sampling workers (0 = inline)")
+    train.add_argument("--pipeline", default="off", metavar="SPEC",
+                       help="datapipe streaming: 'off' (serial schedule) or "
+                            "'depth-N' (N mini-batches in flight on "
+                            "dedicated sampler/PCIe/GPU lanes)")
     train.add_argument("--seed", type=int, default=0,
                        help="sampler/model RNG seed (default 0, deterministic)")
     train.add_argument("--telemetry", default=None, metavar="DIR",
@@ -281,6 +285,7 @@ def cmd_train(args: argparse.Namespace) -> None:
             preload=args.preload, prefetch=args.prefetch, epochs=args.epochs,
             feature_cache_fraction=args.cache_fraction,
             num_workers=args.workers,
+            pipeline=args.pipeline,
             seed=args.seed,
             telemetry_dir=telemetry_dir,
             fastpath=not args.reference_kernels,

@@ -1,0 +1,41 @@
+"""The ``pipeline=off|depth-N`` knob shared by trainer, CLI, and bench."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Parsed pipeline knob: ``depth == 0`` means the serial schedule."""
+
+    depth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.depth < 0:
+            raise BenchmarkError("pipeline depth must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.depth > 0
+
+    def describe(self) -> str:
+        return f"depth-{self.depth}" if self.enabled else "off"
+
+
+def parse_pipeline(spec: str) -> PipelineConfig:
+    """Parse ``"off"`` or ``"depth-N"`` (N >= 1) into a config."""
+    if spec == "off":
+        return PipelineConfig(0)
+    if spec.startswith("depth-"):
+        try:
+            depth = int(spec[len("depth-"):])
+        except ValueError:
+            depth = 0
+        if depth >= 1:
+            return PipelineConfig(depth)
+    raise BenchmarkError(
+        f"unknown pipeline spec {spec!r}; expected 'off' or 'depth-N' (N >= 1)"
+    )

@@ -260,6 +260,12 @@ class _SamplerWrapper:
         """Convert sampler work items into charged device time."""
         machine = self.machine
         profile = self.framework.profile
+        if self.mode == "cpu":
+            # The two CPU halves are separate datapipe stages; charging
+            # them back-to-back here keeps the serial schedule identical.
+            self._charge_sample_kernel(items)
+            self._charge_fetch_kernel(fetch_bytes)
+            return
         registry = telemetry.metrics()
         if registry is not None:
             labels = {"framework": self.framework.name, "kind": self.kind,
@@ -267,25 +273,6 @@ class _SamplerWrapper:
             registry.counter("sampler.batches", **labels).inc()
             registry.counter("sampler.items", **labels).inc(items)
             registry.counter("sampler.fetch_bytes", **labels).inc(fetch_bytes)
-        if self.mode == "cpu":
-            costs = profile.sampler_costs(self.kind)
-            seconds = costs.per_batch + items * costs.per_item
-            machine.cpu.execute(
-                KernelCost(name=f"{self.kind}.sample", fixed_time=seconds)
-            )
-            # Feature fetch: gather rows out of the feature matrix, which
-            # lives on GPU when the experiment pre-loaded it (case study 1).
-            fetch_device = self._feature_device()
-            eff = profile.cost.eff("index", fetch_device.kind)
-            fetch_device.execute(
-                KernelCost(
-                    name=f"{self.kind}.fetch",
-                    bytes_moved=2.0 * fetch_bytes,
-                    compute_eff=eff[0],
-                    memory_eff=eff[1],
-                )
-            )
-            return
 
         gpu = machine.gpu
         if gpu is None:
@@ -309,6 +296,43 @@ class _SamplerWrapper:
             gpu.execute(KernelCost(name=f"{self.kind}.sample.uva", fixed_time=seconds))
             machine.pcie.record_uva(structure_bytes + fetch_bytes)
 
+    def _charge_sample_kernel(self, items: float, hops: int = 1) -> None:
+        """The CPU structure-sampling half (datapipe ``NeighborSampler``)."""
+        profile = self.framework.profile
+        registry = telemetry.metrics()
+        if registry is not None:
+            labels = {"framework": self.framework.name, "kind": self.kind,
+                      "mode": self.mode}
+            registry.counter("sampler.batches", **labels).inc()
+            registry.counter("sampler.items", **labels).inc(items)
+        costs = profile.sampler_costs(self.kind)
+        seconds = costs.per_batch + items * costs.per_item
+        self.machine.cpu.execute(
+            KernelCost(name=f"{self.kind}.sample", fixed_time=seconds)
+        )
+
+    def _charge_fetch_kernel(self, fetch_bytes: float) -> None:
+        """The feature-gather half (datapipe ``FeatureFetcher``).
+
+        Gathers rows out of the feature matrix, which lives on GPU when
+        the experiment pre-loaded it (case study 1).
+        """
+        registry = telemetry.metrics()
+        if registry is not None:
+            labels = {"framework": self.framework.name, "kind": self.kind,
+                      "mode": self.mode}
+            registry.counter("sampler.fetch_bytes", **labels).inc(fetch_bytes)
+        fetch_device = self._feature_device()
+        eff = self.framework.profile.cost.eff("index", fetch_device.kind)
+        fetch_device.execute(
+            KernelCost(
+                name=f"{self.kind}.fetch",
+                bytes_moved=2.0 * fetch_bytes,
+                compute_eff=eff[0],
+                memory_eff=eff[1],
+            )
+        )
+
     def _feature_device(self) -> Device:
         """Where fetched batch features land."""
         if self.mode in ("gpu", "uva") or self.fgraph.preloaded_gpu:
@@ -317,15 +341,57 @@ class _SamplerWrapper:
 
 
 class _BlockSamplerWrapper(_SamplerWrapper):
-    """Shared assembly for block-batch samplers (neighbor / layer-wise)."""
+    """Shared assembly for block-batch samplers (neighbor / layer-wise).
+
+    The datapipe splits a batch into two CPU stages: ``sample_structure``
+    (run the sampling algorithm, charge the sample kernel) and
+    ``assemble_features`` (charge the feature gather, build the
+    :class:`FrameworkBatch`).  The serial ``epoch()``/``sample()`` paths
+    are expressed through the same split so both schedules charge
+    identical kernels in identical order.
+    """
 
     def _hops(self) -> int:
         return 1
+
+    def epoch_requests(self, shuffle: bool = True) -> Iterator[np.ndarray]:
+        """The ``ItemSampler`` stage: seed-node batches in epoch order."""
+        train = self.fgraph.graph.train_nodes()
+        if shuffle:
+            train = self.algorithm.rng.permutation(train)
+        step = self.algorithm.actual_batch_size
+        for start in range(0, train.size, step):
+            roots = train[start:start + step]
+            if roots.size:
+                yield roots
+
+    def sample_structure(self, roots: np.ndarray) -> BlockSample:
+        """The ``NeighborSampler`` stage: blocks + the sample kernel."""
+        with self.framework.activate():
+            sample = self.algorithm.sample(roots)
+            if self.mode == "cpu":
+                self._charge_sample_kernel(sample.work.items,
+                                           hops=self._hops())
+            return sample
+
+    def assemble_features(self, sample: BlockSample) -> FrameworkBatch:
+        """The ``FeatureFetcher`` stage: gather rows, build the batch."""
+        with self.framework.activate():
+            if self.mode == "cpu":
+                self._charge_fetch_kernel(sample.work.fetch_bytes)
+            else:
+                self._charge_sampling(sample.work.items,
+                                      sample.work.fetch_bytes,
+                                      hops=self._hops())
+            return self._build_batch(sample)
 
     def _assemble(self, sample: BlockSample) -> FrameworkBatch:
         self._charge_sampling(
             sample.work.items, sample.work.fetch_bytes, hops=self._hops()
         )
+        return self._build_batch(sample)
+
+    def _build_batch(self, sample: BlockSample) -> FrameworkBatch:
         registry = telemetry.metrics()
         if registry is not None:
             labels = {"kind": self.kind}
@@ -373,14 +439,8 @@ class _BlockSamplerWrapper(_SamplerWrapper):
             return self._assemble(self.algorithm.sample(roots))
 
     def epoch(self, shuffle: bool = True) -> Iterator[FrameworkBatch]:
-        train = self.fgraph.graph.train_nodes()
-        if shuffle:
-            train = self.algorithm.rng.permutation(train)
-        step = self.algorithm.actual_batch_size
-        for start in range(0, train.size, step):
-            roots = train[start:start + step]
-            if roots.size:
-                yield self.sample(roots)
+        for roots in self.epoch_requests(shuffle):
+            yield self.sample(roots)
 
 
 class WrappedNeighborSampler(_BlockSamplerWrapper):
@@ -402,10 +462,34 @@ class WrappedNeighborSampler(_BlockSamplerWrapper):
 
 
 class _SubgraphSamplerWrapper(_SamplerWrapper):
-    """Shared assembly for subgraph-batch samplers (cluster / SAINT)."""
+    """Shared assembly for subgraph-batch samplers (cluster / SAINT).
+
+    Subgraph samplers have no separate seed-node requests: the epoch
+    stream itself yields samples, so ``epoch_requests`` returns the
+    algorithm's batch generator (pure numpy, charges nothing) and
+    ``sample_structure`` prices the structure work it produced.
+    """
+
+    def epoch_requests(self) -> Iterator[SubgraphSample]:
+        if hasattr(self, "ensure_partitioned"):
+            self.ensure_partitioned()
+        return self.algorithm.epoch_batches()
+
+    def sample_structure(self, sample: SubgraphSample) -> SubgraphSample:
+        with self.framework.activate():
+            self._charge_sample_kernel(sample.work.items)
+            return sample
+
+    def assemble_features(self, sample: SubgraphSample) -> FrameworkBatch:
+        with self.framework.activate():
+            self._charge_fetch_kernel(sample.work.fetch_bytes)
+            return self._build_batch(sample)
 
     def _assemble(self, sample: SubgraphSample) -> FrameworkBatch:
         self._charge_sampling(sample.work.items, sample.work.fetch_bytes)
+        return self._build_batch(sample)
+
+    def _build_batch(self, sample: SubgraphSample) -> FrameworkBatch:
         registry = telemetry.metrics()
         if registry is not None:
             labels = {"kind": self.kind}

@@ -38,7 +38,7 @@ def add_lint_parser(subparsers) -> argparse.ArgumentParser:
                         help="also run the whole-program interprocedural "
                              "pass (call graph + effect summaries): "
                              "UNCHARGED-COST, RNG-FLOW, STALE-CACHE, "
-                             "SPAN-FLOW, FAULT-SWALLOW")
+                             "SPAN-FLOW, FAULT-SWALLOW, LANE-FLOW")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format (default: text)")
     parser.add_argument("--select", default=None,

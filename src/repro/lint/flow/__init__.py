@@ -6,7 +6,7 @@ this package sees the program: a call graph with class/method resolution
 (:mod:`facts`) folded into interprocedural effect summaries
 (:mod:`effects`) by a worklist fixpoint solver (:mod:`solver`), and five
 rules over the result (:mod:`rules`): UNCHARGED-COST, RNG-FLOW,
-STALE-CACHE, SPAN-FLOW, FAULT-SWALLOW.
+STALE-CACHE, SPAN-FLOW, FAULT-SWALLOW, LANE-FLOW.
 
 :func:`analyze` is the engine's entry point: it takes the FileContexts
 the engine already parsed (satellite: one parse, shared everywhere) and

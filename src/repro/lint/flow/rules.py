@@ -26,6 +26,11 @@ baselines, and both report formats work unchanged.
   ``BaseException``) outside ``resilience/`` that can absorb
   ``RecoveryExhausted`` or ``FaultPlanError`` flowing out of the try
   body, without re-raising.
+* **LANE-FLOW** — a datapipe ``Stage`` fn (or a function it reaches)
+  calls a clock primitive that records busy intervals directly
+  (``commit_interval``/``occupy_parallel``/``overlap``), escaping the
+  ``deferred()`` capture the lane scheduler replays — that work is
+  charged outside the stage's declared lane.
 """
 
 from __future__ import annotations
@@ -601,3 +606,156 @@ class FaultSwallowRule(DeepRule):
             stack.extend(child for child in ast.iter_child_nodes(node)
                          if not isinstance(child, (ast.stmt,
                                                    ast.ExceptHandler)))
+
+
+# ---------------------------------------------------------------------------
+# LANE-FLOW
+# ---------------------------------------------------------------------------
+
+#: Clock entry points that write busy intervals straight onto the machine
+#: timeline, bypassing the ``deferred()`` capture a datapipe stage runs
+#: under.  Work routed through them lands at pre-drain timestamps on the
+#: base device instead of the stage's declared lane.
+LANE_ESCAPES = ("commit_interval", "occupy_parallel", "overlap")
+
+
+@register
+class LaneFlowRule(DeepRule):
+    name = "LANE-FLOW"
+    severity = "error"
+    description = ("datapipe stage work charged outside its declared lane: a "
+                   "Stage fn (or a function it calls) reaches a clock "
+                   "primitive that records busy intervals directly "
+                   "(commit_interval/occupy_parallel/overlap), escaping the "
+                   "deferred() capture the lane scheduler replays — that "
+                   "time lands on the base device at pre-drain timestamps "
+                   "instead of the stage's lane")
+
+    def check(self, state: AnalysisState) -> Iterator[Finding]:
+        escapes = self._escape_map(state)
+        for qualname in sorted(state.facts):
+            facts = state.facts[qualname]
+            for node in _iter_own_nodes(facts.info.node):
+                if not self._is_stage_call(node):
+                    continue
+                fn_expr = self._stage_fn(node)
+                if fn_expr is None:
+                    continue
+                for target, primitive in self._fn_escapes(
+                        state, facts, fn_expr, escapes):
+                    yield self.finding(
+                        facts.info, node,
+                        f"Stage declared in '{_display(qualname)}' uses fn "
+                        f"'{target}' which reaches '{primitive}'; interval-"
+                        "recording clock primitives escape the deferred() "
+                        "capture, so this work is charged outside the "
+                        "stage's declared lane")
+
+    # -- stage-construction syntax ------------------------------------
+    @staticmethod
+    def _is_stage_call(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and dotted(node.func).rpartition(".")[2] == "Stage")
+
+    @staticmethod
+    def _stage_fn(call: ast.Call) -> Optional[ast.AST]:
+        for kw in call.keywords:
+            if kw.arg == "fn":
+                return kw.value
+        if len(call.args) >= 3:
+            return call.args[2]
+        return None
+
+    # -- whole-program escape reachability ----------------------------
+    def _escape_map(self, state: AnalysisState) -> Dict[str, str]:
+        """qualname -> escaping primitive (transitive over the call graph)."""
+        direct: Dict[str, str] = {}
+        for qualname, facts in state.facts.items():
+            primitive = self._direct_escape(facts.info.node)
+            if primitive:
+                direct[qualname] = primitive
+        reaches = dict(direct)
+        changed = True
+        while changed:
+            changed = False
+            for qualname, facts in state.facts.items():
+                if qualname in reaches:
+                    continue
+                for site in facts.calls:
+                    hit = next((reaches[c] for c in site.callees
+                                if c in reaches), None)
+                    if hit:
+                        reaches[qualname] = hit
+                        changed = True
+                        break
+        return reaches
+
+    @staticmethod
+    def _direct_escape(fn_node: ast.AST) -> str:
+        for node in _iter_own_nodes(fn_node):
+            if isinstance(node, ast.Call):
+                leaf = dotted(node.func).rpartition(".")[2]
+                if leaf in LANE_ESCAPES:
+                    return leaf
+        return ""
+
+    def _fn_escapes(self, state: AnalysisState, facts: FunctionFacts,
+                    fn_expr: ast.AST,
+                    escapes: Dict[str, str]) -> Iterator[Tuple[str, str]]:
+        """(display name, primitive) pairs for one Stage fn expression."""
+        if isinstance(fn_expr, ast.Lambda):
+            primitive = self._lambda_escape(state, facts, fn_expr, escapes)
+            if primitive:
+                yield "<lambda>", primitive
+            return
+        for qualname in self._resolve_ref(state, facts, fn_expr):
+            if qualname in escapes:
+                yield _display(qualname), escapes[qualname]
+
+    def _lambda_escape(self, state: AnalysisState, facts: FunctionFacts,
+                       lam: ast.Lambda, escapes: Dict[str, str]) -> str:
+        for node in ast.walk(lam.body):
+            if not isinstance(node, ast.Call):
+                continue
+            leaf = dotted(node.func).rpartition(".")[2]
+            if leaf in LANE_ESCAPES:
+                return leaf
+            site = next((s for s in facts.calls if s.node is node), None)
+            if site is not None:
+                hit = next((escapes[c] for c in site.callees
+                            if c in escapes), "")
+                if hit:
+                    return hit
+            # Call sites inside lambdas may not be in facts.calls; fall
+            # back to resolving the callee reference by name.
+            for callee in self._resolve_ref(state, facts, node.func):
+                if callee in escapes:
+                    return escapes[callee]
+        return ""
+
+    @staticmethod
+    def _resolve_ref(state: AnalysisState, facts: FunctionFacts,
+                     ref: ast.AST) -> List[str]:
+        """Program functions a bare/attribute function reference names.
+
+        ``name`` resolves to a sibling in the same module (nested defs
+        share the enclosing module); ``self.meth``/``obj.meth`` resolve
+        by method name within the same class first, then any class."""
+        module = facts.info.module
+        if isinstance(ref, ast.Name):
+            suffix = ref.id
+            return sorted(q for q, f in state.facts.items()
+                          if f.info.module == module
+                          and q.rsplit(".", 1)[-1].rsplit(":", 1)[-1] == suffix)
+        if isinstance(ref, ast.Attribute):
+            meth = ref.attr
+            same_cls = sorted(
+                q for q, f in state.facts.items()
+                if f.info.module == module and f.info.cls == facts.info.cls
+                and q.endswith(f":{facts.info.cls}.{meth}" if facts.info.cls
+                               else f".{meth}"))
+            if same_cls:
+                return same_cls
+            return sorted(q for q, f in state.facts.items()
+                          if f.info.cls and q.endswith(f".{meth}"))
+        return []

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.datapipe.config import parse_pipeline
 from repro.errors import BenchmarkError, RecoveryExhausted
 from repro.frameworks.base import Framework, FrameworkBatch, FrameworkGraph
 from repro.hardware.machine import Machine
@@ -45,6 +46,10 @@ class TrainConfig:
     # inline sampling as the paper measures; w >= 1 divides sampling time
     # by a sublinear speedup and pipelines it behind GPU training.
     num_workers: int = 0
+    # Streaming datapipe: "off" runs the legacy serial schedule;
+    # "depth-N" allows N mini-batches in flight on per-resource lanes
+    # (sampler workers, PCIe, GPU) — depth-1 equals the serial schedule.
+    pipeline: str = "off"
     representative_batches: int = 4
     seed: int = 0
     # Crash–resume: save a checkpoint every K completed epochs (0 = off),
@@ -66,12 +71,28 @@ class TrainConfig:
             raise BenchmarkError(
                 "sampling workers apply to CPU-side samplers only"
             )
+        depth = parse_pipeline(self.pipeline).depth  # validates the spec
+        if depth > 0:
+            if self.prefetch:
+                raise BenchmarkError(
+                    "pipeline subsumes prefetch; use one or the other"
+                )
+            if self.samples_on_gpu:
+                raise BenchmarkError(
+                    "the datapipe pipelines CPU-side sampling; GPU/UVA "
+                    "placements sample on-device already"
+                )
         if self.checkpoint_every < 0:
             raise BenchmarkError("checkpoint_every must be >= 0")
         if self.checkpoint_every and not self.checkpoint_path:
             raise BenchmarkError("checkpoint_every needs a checkpoint_path")
         if self.halt_after_epochs is not None and self.halt_after_epochs < 1:
             raise BenchmarkError("halt_after_epochs must be >= 1")
+
+    @property
+    def pipeline_depth(self) -> int:
+        """Parsed depth of the ``pipeline`` knob (0 = serial schedule)."""
+        return parse_pipeline(self.pipeline).depth
 
     @property
     def trains_on_gpu(self) -> bool:
@@ -372,6 +393,97 @@ class MiniBatchTrainer:
         return loss.item()
 
     # ------------------------------------------------------------------
+    # streaming datapipe (pipeline=depth-N)
+    # ------------------------------------------------------------------
+    def pipeline_workers(self) -> int:
+        """Sampler-worker lanes for the pipelined schedule.
+
+        One worker per in-flight slot by default (DataLoader-style
+        ``prefetch_factor`` semantics); an explicit ``num_workers``
+        bounds the pool.  Capped at the physical cores so a deep queue
+        cannot fabricate parallelism the testbed does not have.
+        """
+        config = self.config
+        depth = config.pipeline_depth
+        cores = getattr(self.machine.cpu.spec, "cores_per_socket", 10) * \
+            getattr(self.machine.cpu.spec, "sockets", 1)
+        workers = config.num_workers if config.num_workers > 0 else depth
+        return max(1, min(workers, depth, int(cores)))
+
+    def _pipeline_inflation(self, workers: int) -> float:
+        """Per-job cost inflation preserving the sublinear worker model.
+
+        ``workers`` lanes run concurrently, but aggregate throughput must
+        match the serial path's ``worker_speedup`` (85% scaling per
+        doubling): each job is stretched by ``workers / speedup`` so the
+        pool's effective rate stays sublinear.
+        """
+        if workers <= 1:
+            return 1.0
+        cores = getattr(self.machine.cpu.spec, "cores_per_socket", 10) * \
+            getattr(self.machine.cpu.spec, "sockets", 1)
+        speedup = min(float(cores), workers ** 0.85)
+        return workers / speedup
+
+    def _batch_staging_bytes(self, batch: FrameworkBatch) -> float:
+        """Logical bytes one in-flight batch pins (structure + x + y)."""
+        structure = sum(adj.structure_nbytes() for adj in batch.adjs)
+        return structure + batch.x.logical_nbytes + batch.y_logical_nbytes
+
+    def _run_pipelined_epoch(self, reps: int, num_batches: int,
+                             losses: List[float]) -> int:
+        """One epoch on the datapipe; returns executed batch count."""
+        from repro.datapipe.pipeline import Stage, run_epoch
+        from repro.datapipe.staging import StagingPool
+
+        config = self.config
+        workers = 1 if self._workers_degraded else self.pipeline_workers()
+        depth = 1 if self._workers_degraded else config.pipeline_depth
+        needs_move = config.trains_on_gpu and not config.samples_on_gpu
+        pool = StagingPool(self.machine, depth)
+
+        def fetch(index: int, sample) -> FrameworkBatch:
+            batch = self.sampler.assemble_features(sample)
+            pool.stage_host(index, self._batch_staging_bytes(batch))
+            return batch
+
+        def copy(index: int, batch: FrameworkBatch) -> FrameworkBatch:
+            pool.stage_gpu(index, self._batch_staging_bytes(batch))
+            return self._move_batch(batch)
+
+        def train(index: int, batch: FrameworkBatch) -> float:
+            return self._train_step(batch)
+
+        stages = [
+            Stage("sample", "sampling",
+                  fn=lambda i, req: self.sampler.sample_structure(req),
+                  lanes=tuple(f"worker/{w}" for w in range(workers)),
+                  scale=self._pipeline_inflation(workers),
+                  fault_site="sampler.worker"),
+            Stage("fetch", "sampling", fn=fetch, lanes=("fetch",)),
+        ]
+        if needs_move:
+            stages.append(Stage("copy", "data_movement", fn=copy,
+                                lanes=("copy",)))
+        stages.append(Stage("train", "training", fn=train, lanes=("train",)))
+
+        try:
+            report = run_epoch(
+                self.machine, stages, self.sampler.epoch_requests(), depth,
+                limit=reps, extrapolate_to=num_batches, label=self.label,
+            )
+        finally:
+            pool.close()
+        if report.degraded:
+            # The worker pool burned its respawn budget: the rest of the
+            # run degrades to a single-lane depth-1 pipe (inline analogue).
+            self._workers_degraded = True
+        losses.extend(report.outputs)
+        for phase, seconds in sorted(report.phases.items()):
+            self.profiler.add(phase, seconds)
+        return report.executed
+
+    # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Run the configured number of epochs; return the breakdown."""
         config = self.config
@@ -387,6 +499,21 @@ class MiniBatchTrainer:
 
         prev_train_dt = 0.0
         for epoch in range(start_epoch, config.epochs):
+            if config.pipeline_depth > 0:
+                with maybe_span("train.epoch", epoch=epoch, label=self.label,
+                                pipeline=config.pipeline):
+                    ran = self._run_pipelined_epoch(reps, num_batches, losses)
+                executed += ran
+                done = epoch + 1
+                if (config.checkpoint_every
+                        and done % config.checkpoint_every == 0):
+                    self._save_checkpoint(done, losses, executed)
+                if (config.halt_after_epochs is not None
+                        and done >= start_epoch + config.halt_after_epochs
+                        and done < config.epochs):
+                    completed = False
+                    break
+                continue
             batch_iter = iter(self.sampler.epoch())
             phase_usage: Dict[str, Dict[str, float]] = {}
             phase_wall: Dict[str, float] = {}

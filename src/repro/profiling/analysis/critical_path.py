@@ -39,6 +39,7 @@ def extract_critical_path(bundle: RunBundle) -> dict:
             "total_seconds": bundle.total_seconds,
             "critical_seconds": 0.0,
             "idle_seconds": 0.0,
+            "overlap_seconds": 0.0,
             "coverage": 0.0,
             "segments": [],
             "segments_total": 0,
@@ -55,12 +56,36 @@ def extract_critical_path(bundle: RunBundle) -> dict:
         "total_seconds": bundle.total_seconds,
         "critical_seconds": critical_total,
         "idle_seconds": idle,
+        "overlap_seconds": _overlap_seconds(intervals),
         "coverage": critical_total / makespan if makespan > 0 else 0.0,
         "segments": merged[:MAX_SEGMENTS],
         "segments_total": len(merged),
         "by_lane": by_lane,
         "top": _top_contributors(merged),
     }
+
+
+def _overlap_seconds(intervals: Sequence[LaneInterval]) -> float:
+    """Busy time hidden behind other lanes' busy time.
+
+    Sum of all interval durations minus the length of their union: zero
+    on a fully serial schedule, and exactly the seconds a pipelined run
+    (``pipeline=depth-N``, prefetching, parallel workers) kept two or
+    more resources busy at once.
+    """
+    total = sum(iv.duration for iv in intervals)
+    union = 0.0
+    cur_start = cur_end = None
+    for iv in sorted(intervals, key=lambda iv: (iv.start, iv.end)):
+        if cur_end is None or iv.start > cur_end + EPS:
+            if cur_end is not None:
+                union += cur_end - cur_start
+            cur_start, cur_end = iv.start, iv.end
+        elif iv.end > cur_end:
+            cur_end = iv.end
+    if cur_end is not None:
+        union += cur_end - cur_start
+    return max(0.0, total - union)
 
 
 def _walk(intervals: Sequence[LaneInterval]):

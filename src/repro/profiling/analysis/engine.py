@@ -85,7 +85,8 @@ def format_profile_report(payload: dict) -> str:
     lines.append(f"critical path: {critical.get('critical_seconds', 0.0):.4f}s "
                  f"over a {critical.get('makespan', 0.0):.4f}s makespan "
                  f"({100 * critical.get('coverage', 0.0):.1f}% covered, "
-                 f"{critical.get('idle_seconds', 0.0):.4f}s idle)")
+                 f"{critical.get('idle_seconds', 0.0):.4f}s idle, "
+                 f"{critical.get('overlap_seconds', 0.0):.4f}s overlapped)")
     by_lane = critical.get("by_lane", {})
     if by_lane:
         header = f"  {'lane':<24}{'busy':>10}{'on-path':>10}{'slack':>10}"

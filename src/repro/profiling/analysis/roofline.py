@@ -109,8 +109,11 @@ def _transfer_entries(bundle: RunBundle) -> List[dict]:
         dict(labels).get("direction", "?"): value
         for labels, value in bundle.counter_series("pcie.bytes").items()
     }
+    # Lane-qualified keys ("pcie@copy", "pcie@h2d") are the pipeline's
+    # per-stage PCIe timelines; they are still this link's traffic.
     seconds_total = sum(iv.duration for iv in bundle.intervals
-                        if iv.lane == lane)
+                        if iv.lane == lane
+                        or iv.lane.startswith(lane + "@"))
     if not bytes_by_direction and seconds_total <= 0:
         return []
     total_bytes = sum(bytes_by_direction.values())

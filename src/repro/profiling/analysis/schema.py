@@ -95,7 +95,8 @@ def _validate_analysis(payload: dict) -> List[str]:
     if problems:
         return problems
     critical = payload["critical_path"]
-    for key in ("makespan", "critical_seconds", "idle_seconds", "coverage"):
+    for key in ("makespan", "critical_seconds", "idle_seconds",
+                "overlap_seconds", "coverage"):
         if not isinstance(critical.get(key), (int, float)):
             problems.append(f"critical_path.{key} missing or non-numeric")
     if not isinstance(critical.get("segments"), list):

@@ -12,9 +12,16 @@ Devices can advance the clock in two modes:
 * ``occupy(device_key, dt)`` — per-device busy tracking used by the power
   model to integrate dynamic power only while a device is actually busy.
 
-The clock also supports *async overlap windows* used by DGLite's
-pre-fetching case study: inside ``overlap()`` the maximum of the overlapped
-durations is charged instead of their sum.
+Multi-lane schedules (the streaming datapipe) are built with
+:class:`LaneScheduler`: each resource (sampler-worker CPUs, PCIe, GPU)
+gets its own timeline, jobs are placed at the max of their dependency
+finish times and their lane's front, and ``drain()`` commits the busy
+intervals and advances the machine clock once to the latest lane front —
+replacing per-call serial ``advance()`` on the hot path.
+
+The legacy *async overlap window* (``overlap()``: charge the maximum of
+the overlapped durations) is kept as a thin compatibility shim over the
+lane scheduler; new code should schedule lanes explicitly.
 """
 
 from __future__ import annotations
@@ -22,7 +29,10 @@ from __future__ import annotations
 import bisect
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+#: Tolerance for interval-ordering checks (floating-point bookkeeping).
+_EPS = 1e-9
 
 
 @dataclass
@@ -63,7 +73,7 @@ class VirtualClock:
         self._ends: Dict[str, List[float]] = {}
         self._cumdur: Dict[str, List[float]] = {}
         self._overlap_depth: int = 0
-        self._overlap_max: float = 0.0
+        self._overlap_sched: Optional["LaneScheduler"] = None
         self._listeners: List[Callable[[float, float], None]] = []
 
     @property
@@ -86,8 +96,11 @@ class VirtualClock:
             self._defer_record.total += dt
             return
         if self._overlap_depth > 0:
-            # Inside an overlap window durations race; record the longest.
-            self._overlap_max = max(self._overlap_max, dt)
+            # Inside an overlap window durations race: each advance is a
+            # job on its own anonymous lane, so the window's makespan is
+            # the longest duration (charged when the window closes).
+            sched = self._overlap_sched
+            sched.submit(f"overlap/{len(sched.jobs)}", dt)
             return
         old = self._now
         self._now += dt
@@ -188,23 +201,83 @@ class VirtualClock:
     def overlap(self, device: str = "", tag: str = "overlap") -> Iterator[None]:
         """Charge the *max* of the durations advanced inside the window.
 
+        .. deprecated::
+            ``overlap()`` predates :class:`LaneScheduler` and survives as a
+            thin compatibility shim over it: every ``advance`` inside the
+            window becomes a job on its own anonymous lane of a private
+            scheduler, and closing the window charges the scheduler's
+            makespan (= the longest duration, exactly the old semantics).
+            New code should build a :class:`LaneScheduler` with explicit
+            per-resource lanes instead.
+
         Models asynchronous copy/compute overlap (DGL pre-fetching).  Nested
         overlaps share one window.
         """
         self._overlap_depth += 1
         if self._overlap_depth == 1:
-            self._overlap_max = 0.0
+            self._overlap_sched = LaneScheduler(self)
         try:
             yield
         finally:
             self._overlap_depth -= 1
             if self._overlap_depth == 0:
-                dt = self._overlap_max
-                self._overlap_max = 0.0
+                sched = self._overlap_sched
+                self._overlap_sched = None
+                dt = sched.makespan
                 if device:
                     self.occupy(device, dt, tag)
                 else:
                     self.advance(dt)
+
+    def commit_interval(self, device: str, start: float, end: float,
+                        tag: str = "", lane: str = "") -> None:
+        """Record an externally scheduled busy interval.
+
+        :class:`LaneScheduler.drain` uses this to materialize a multi-lane
+        schedule: intervals may lie in the clock's *future* (the caller
+        advances afterwards) but must arrive start-ordered and disjoint per
+        key.  With ``lane`` set, the interval is recorded under the
+        ``device@lane`` key (its own trace lane) and additionally merged
+        into the base device's busy-time index as a *union* across lanes,
+        so power metering — which asks ``busy_time(device)`` — keeps
+        seeing the device as busy whenever any of its lanes is.
+        """
+        if end < start:
+            raise ValueError(f"interval ends before it starts ({start}..{end})")
+        if end - start <= 0:
+            return
+        key = f"{device}@{lane}" if lane else device
+        starts = self._starts.setdefault(key, [])
+        ends = self._ends.setdefault(key, [])
+        cum = self._cumdur.setdefault(key, [0.0])
+        if ends and start < ends[-1] - _EPS:
+            raise ValueError(
+                f"interval [{start}, {end}) overlaps existing busy time on "
+                f"{key!r} (last end {ends[-1]})"
+            )
+        start = max(start, ends[-1]) if ends else start
+        if end <= start:
+            return
+        self._busy.append(BusyInterval(key, start, end, tag))
+        starts.append(start)
+        ends.append(end)
+        cum.append(cum[-1] + (end - start))
+        if lane:
+            self._union_merge(device, start, end)
+
+    def _union_merge(self, device: str, start: float, end: float) -> None:
+        """Fold one lane interval into the base device's busy-time union."""
+        starts = self._starts.setdefault(device, [])
+        ends = self._ends.setdefault(device, [])
+        cum = self._cumdur.setdefault(device, [0.0])
+        if ends and start <= ends[-1] + _EPS:
+            if end > ends[-1]:  # extends the trailing interval
+                cum[-1] += end - ends[-1]
+                ends[-1] = end
+            return
+        starts.append(start)
+        ends.append(end)
+        cum.append(cum[-1] + (end - start))
 
     def busy_time(self, device: str, start: float = 0.0, end: Optional[float] = None) -> float:
         """Total busy seconds for ``device`` within [start, end)."""
@@ -239,7 +312,131 @@ class VirtualClock:
         self._ends.clear()
         self._cumdur.clear()
         self._overlap_depth = 0
-        self._overlap_max = 0.0
+        self._overlap_sched = None
+
+
+@dataclass
+class LaneJob:
+    """One scheduled unit of work on a :class:`LaneScheduler` lane."""
+
+    job_id: int
+    lane: str
+    start: float
+    end: float
+    total: float
+    busy: Dict[str, float]
+    tag: str = ""
+    #: Earliest time the job *could* have started (dependency finish);
+    #: ``start - ready`` is the time it queued behind its lane.
+    ready: float = 0.0
+
+    @property
+    def wait(self) -> float:
+        return self.start - self.ready
+
+
+class LaneScheduler:
+    """Event-driven per-resource timelines over one :class:`VirtualClock`.
+
+    Each lane (a sampler-worker CPU, the PCIe link, the GPU, ...) is an
+    independent timeline with a monotone *front*.  ``submit()`` places a
+    job at the max of its dependency finish times, an optional explicit
+    lower bound, and its lane's front — so lanes overlap freely while
+    work on one lane stays serial.  Nothing touches the clock until
+    ``drain()``, which commits every job's per-device busy time (under
+    ``device@lane`` keys, see :meth:`VirtualClock.commit_interval`) and
+    advances the machine clock once, to the latest lane front.
+
+    The scheduler is one-shot: ``drain()`` finalizes it.  Pipelines build
+    one scheduler per epoch.
+    """
+
+    def __init__(self, clock: VirtualClock, origin: Optional[float] = None) -> None:
+        self.clock = clock
+        self.origin = clock.now if origin is None else origin
+        self.jobs: List[LaneJob] = []
+        self._fronts: Dict[str, float] = {}
+        self._drained = False
+
+    def front(self, lane: str) -> float:
+        """The time at which ``lane`` next becomes free."""
+        return self._fronts.get(lane, self.origin)
+
+    @property
+    def finish(self) -> float:
+        """The latest lane front (absolute time)."""
+        return max(self._fronts.values()) if self._fronts else self.origin
+
+    @property
+    def makespan(self) -> float:
+        """Elapsed schedule time so far (``finish - origin``)."""
+        return self.finish - self.origin
+
+    def submit(self, lane: str, work: Union[DeferredRecord, float], *,
+               deps: Sequence[LaneJob] = (), not_before: float = 0.0,
+               tag: str = "", scale: float = 1.0) -> LaneJob:
+        """Schedule measured ``work`` on ``lane``.
+
+        ``work`` is a :class:`DeferredRecord` (measured inside
+        ``clock.deferred()``) or plain seconds.  ``deps`` are jobs that
+        must finish first; ``not_before`` adds an absolute lower bound
+        (e.g. bounded-queue backpressure).  ``scale`` multiplies the
+        job's duration and busy time — the datapipe uses it to model
+        sublinear sampler-worker efficiency.
+        """
+        if self._drained:
+            raise RuntimeError("LaneScheduler already drained")
+        if scale < 0:
+            raise ValueError("scale must be >= 0")
+        if isinstance(work, DeferredRecord):
+            total = work.total * scale
+            busy = {d: s * scale for d, s in work.busy.items() if s > 0}
+        else:
+            if work < 0:
+                raise ValueError("cannot schedule negative duration")
+            total = float(work) * scale
+            busy = {}
+        ready = max([self.origin, not_before] + [dep.end for dep in deps])
+        start = max(ready, self.front(lane))
+        job = LaneJob(
+            job_id=len(self.jobs), lane=lane, start=start, end=start + total,
+            total=total, busy=busy, tag=tag, ready=ready,
+        )
+        self._fronts[lane] = job.end
+        self.jobs.append(job)
+        return job
+
+    def lane_busy(self) -> Dict[str, float]:
+        """Total scheduled busy seconds per lane (sum of job durations)."""
+        totals: Dict[str, float] = {}
+        for job in self.jobs:
+            totals[job.lane] = totals.get(job.lane, 0.0) + job.total
+        return totals
+
+    def drain(self) -> float:
+        """Commit the schedule to the clock; returns the elapsed seconds.
+
+        Busy intervals are recorded *before* the single advance so clock
+        listeners (power sampling) integrate over the full multi-lane
+        timeline, mirroring how ``occupy()`` records-then-advances.
+        """
+        if self._drained:
+            raise RuntimeError("LaneScheduler already drained")
+        self._drained = True
+        commits = []
+        for job in self.jobs:
+            for device in sorted(job.busy):
+                seconds = min(job.busy[device], job.total)
+                if seconds > 0:
+                    commits.append((job.start, device, seconds, job))
+        commits.sort(key=lambda c: (c[0], c[1], c[3].job_id))
+        for start, device, seconds, job in commits:
+            self.clock.commit_interval(device, start, start + seconds,
+                                       tag=job.tag, lane=job.lane)
+        elapsed = self.finish - self.clock.now
+        if elapsed > 0:
+            self.clock.advance(elapsed)
+        return max(0.0, elapsed)
 
 
 @dataclass

@@ -30,7 +30,7 @@ from repro.lint.reporting import to_json_payload
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 DEEP_RULE_NAMES = {"UNCHARGED-COST", "RNG-FLOW", "STALE-CACHE",
-                   "SPAN-FLOW", "FAULT-SWALLOW"}
+                   "SPAN-FLOW", "FAULT-SWALLOW", "LANE-FLOW"}
 
 
 def write_module(tmp_path: Path, rel: str, source: str) -> Path:
@@ -604,6 +604,96 @@ def test_span_flow_interprocedural_wrapper_outside_telemetry(tmp_path):
     }, select=["SPAN-FLOW"])
     assert len(findings) == 1
     assert findings[0].path.endswith("loop.py")
+
+
+# ---------------------------------------------------------------------------
+# LANE-FLOW
+
+
+LANE_PREAMBLE = """
+    from repro.datapipe.pipeline import Stage
+
+    def quiet_stage(index, payload):
+        return payload
+"""
+
+
+def test_lane_flow_tp_named_fn_direct_escape(tmp_path):
+    findings = deep_findings(tmp_path, {"repro/train/t.py": LANE_PREAMBLE + """
+        def rogue_stage(index, payload):
+            clock = payload.clock
+            clock.occupy_parallel({"cpu": 1.0}, backfill=True)
+            return payload
+
+        def build(clock):
+            return [Stage("fetch", "sampling", fn=rogue_stage,
+                          lanes=("fetch",))]
+    """}, select=["LANE-FLOW"])
+    assert len(findings) == 1
+    assert "rogue_stage" in findings[0].message
+    assert "occupy_parallel" in findings[0].message
+
+
+def test_lane_flow_tp_transitive_callee(tmp_path):
+    findings = deep_findings(tmp_path, {"repro/train/t.py": LANE_PREAMBLE + """
+        def charge_directly(clock):
+            with clock.overlap("cpu"):
+                clock.advance(1.0)
+
+        def sneaky_stage(index, payload):
+            charge_directly(payload.clock)
+            return payload
+
+        def build(clock):
+            return [Stage("sample", "sampling", fn=sneaky_stage,
+                          lanes=("worker/0",))]
+    """}, select=["LANE-FLOW"])
+    assert len(findings) == 1
+    assert "sneaky_stage" in findings[0].message
+    assert "overlap" in findings[0].message
+
+
+def test_lane_flow_tp_lambda_commit_interval(tmp_path):
+    findings = deep_findings(tmp_path, {"repro/train/t.py": LANE_PREAMBLE + """
+        def build(clock):
+            return [Stage("copy", "data_movement",
+                          fn=lambda i, p: clock.commit_interval(
+                              "pcie", 0.0, 1.0),
+                          lanes=("copy",))]
+    """}, select=["LANE-FLOW"])
+    assert len(findings) == 1
+    assert "commit_interval" in findings[0].message
+
+
+def test_lane_flow_tn_deferred_capturable_work(tmp_path):
+    findings = deep_findings(tmp_path, {"repro/train/t.py": LANE_PREAMBLE + """
+        def honest_stage(index, payload):
+            payload.clock.occupy("cpu", 0.5, tag="sample")
+            payload.clock.advance(0.1)
+            return payload
+
+        def build(clock):
+            return [Stage("sample", "sampling", fn=honest_stage,
+                          lanes=("worker/0",)),
+                    Stage("train", "training", fn=quiet_stage,
+                          lanes=("train",))]
+    """}, select=["LANE-FLOW"])
+    assert findings == []
+
+
+def test_lane_flow_tn_escape_outside_stage_fn(tmp_path):
+    # occupy_parallel is fine outside the datapipe: only Stage fns run
+    # under the scheduler's deferred capture.
+    findings = deep_findings(tmp_path, {"repro/train/t.py": LANE_PREAMBLE + """
+        def allreduce(clock):
+            clock.occupy_parallel({"gpu0": 1.0, "gpu1": 1.0})
+
+        def build(clock):
+            allreduce(clock)
+            return [Stage("train", "training", fn=quiet_stage,
+                          lanes=("train",))]
+    """}, select=["LANE-FLOW"])
+    assert findings == []
 
 
 # ---------------------------------------------------------------------------
