@@ -1,6 +1,7 @@
 """Versioned ``BENCH_<area>.json`` perf-trajectory artifacts.
 
-One artifact records one sweep area (``kernels`` or ``training``) as a
+One artifact records one sweep area (``kernels``, ``training`` or
+``serving``) as a
 list of *cells* — one point of the kernel × framework × logical-scale ×
 fastpath matrix — each carrying seeded-repeat statistics for virtual
 time, wall time, and energy.  The committed copies at the repo root are
@@ -23,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.bench.repeats import RepeatedStats
 
 SWEEP_SCHEMA = "repro.bench.sweep/1"
-SWEEP_AREAS = ("kernels", "training")
+SWEEP_AREAS = ("kernels", "training", "serving")
 CELL_METRICS = ("virtual_s", "wall_s", "energy_j")
 # Wall-clock is recorded for the trajectory but not gated by default:
 # shared CI runners make it noisy, while virtual time and energy are

@@ -10,6 +10,9 @@ measures a fixed grid of cells through the existing harness drivers:
 * ``training`` area — one short end-to-end training run per cell
   (:func:`~repro.bench.harness.run_training_experiment`): the system view
   the paper's figures report.
+* ``serving`` area — one micro-batched online-inference window per cell
+  (:func:`~repro.serving.run_serving_experiment`): the serving makespan
+  and energy under a fixed seeded trace.
 
 Every cell runs once per seed; per-metric spread is aggregated with
 :class:`~repro.bench.repeats.RepeatedStats` so the regression gate can
@@ -131,11 +134,30 @@ PIPELINE_MATRIX = tuple(
 )
 TRAINING_MATRIX = TRAINING_MATRIX + PIPELINE_MATRIX
 
-MATRICES = {"kernels": KERNEL_MATRIX, "training": TRAINING_MATRIX}
+# The serving area: one micro-batched serving window per framework ×
+# fastpath on the warm-cache CPU-sample/GPU-serve placement.  Virtual
+# makespan and energy are deterministic functions of the seed, so the
+# gate tracks tail-latency-driving cost exactly like training cost.
+SERVING_MATRIX = tuple(
+    SweepCell("serve", fw, "graphsage", "ppi", 0.3, fastpath,
+              placement="cpugpu", pipeline="depth-4")
+    for fw in _FRAMEWORKS
+    for fastpath in (True, False)
+)
+
+MATRICES = {"kernels": KERNEL_MATRIX, "training": TRAINING_MATRIX,
+            "serving": SERVING_MATRIX}
 
 # Training-cell hyperparameters (fixed: they are part of what a cell means).
 _TRAIN_EPOCHS = 1
 _TRAIN_BATCHES = 2
+
+# Serving-cell workload knobs (fixed per the same rule: the offered
+# trace is part of the cell's identity, the seed varies the draws).
+_SERVE_RATE = 200.0
+_SERVE_REQUESTS = 24
+_SERVE_BUDGET_S = 0.020
+_SERVE_MAX_BATCH = 8
 
 
 def run_cell_once(cell: SweepCell, seed: int):
@@ -164,6 +186,19 @@ def run_cell_once(cell: SweepCell, seed: int):
             raise BenchmarkError(f"sweep cell {cell.cell_id} hit OOM: "
                                  f"{result.error}")
         virtual = result.total_time
+    elif cell.driver == "serve":
+        from repro.serving import ServeConfig, run_serving_experiment
+
+        result = run_serving_experiment(
+            ServeConfig(framework=cell.framework, dataset=cell.dataset,
+                        model=cell.kernel, rate=_SERVE_RATE,
+                        num_requests=_SERVE_REQUESTS,
+                        budget_s=_SERVE_BUDGET_S,
+                        max_batch=_SERVE_MAX_BATCH,
+                        placement=cell.placement, pipeline=cell.pipeline,
+                        seed=seed, dataset_scale=cell.scale),
+            fastpath=cell.fastpath)
+        virtual = result.makespan
     else:
         raise BenchmarkError(f"unknown sweep driver {cell.driver!r}")
     wall = time.perf_counter() - start

@@ -7,6 +7,8 @@ Commands mirror the paper's experiment families:
 * ``samplers`` — Figure 4 (per-epoch sampler runtime).
 * ``conv`` — Figure 5 (conv-layer forward runtime).
 * ``train`` — Figures 6-21 (one end-to-end training experiment).
+* ``serve`` — online inference serving with latency-budget
+  micro-batching (``repro.serve/1`` report).
 * ``fullbatch`` — Figures 22-24 (full-batch GraphSAGE).
 * ``bench sweep`` / ``bench gate`` — perf-trajectory sweep matrix and
   the regression gate over the committed ``BENCH_*.json`` baselines.
@@ -117,6 +119,52 @@ def build_parser() -> argparse.ArgumentParser:
                             "(A/B partner for `repro profile diff`; charged "
                             "virtual cost is identical to the fast path)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="online inference serving: latency-budget micro-batching on "
+             "the virtual clock (repro.serve/1 report)")
+    serve.add_argument("--framework", choices=FRAMEWORKS + ("both",),
+                       default="both")
+    serve.add_argument("--dataset", choices=DATASET_NAMES, default="ppi")
+    serve.add_argument("--rates", default="100", metavar="R1,R2,...",
+                       help="comma-separated offered loads in requests per "
+                            "virtual second (one serving window each)")
+    serve.add_argument("--requests", type=int, default=64,
+                       help="requests per serving window (default 64)")
+    serve.add_argument("--trace", choices=("poisson", "bursty", "diurnal"),
+                       default="poisson")
+    serve.add_argument("--nodes-per-request", type=int, default=1)
+    serve.add_argument("--budget-ms", type=float, default=50.0,
+                       help="micro-batcher latency budget: no request waits "
+                            "in the batcher longer than this (default 50)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batch size cap (default 32)")
+    serve.add_argument("--placement", choices=("cpu", "cpugpu"),
+                       default="cpugpu")
+    serve.add_argument("--pipeline", default="depth-4", metavar="SPEC",
+                       help="'off' (serial batches) or 'depth-N' (N batches "
+                            "in flight on the serving lanes; default depth-4)")
+    serve.add_argument("--cache-fraction", type=float, default=0.25)
+    serve.add_argument("--cache-policy", choices=("degree", "random"),
+                       default="degree")
+    serve.add_argument("--degraded", choices=("shed", "stale"),
+                       default="shed",
+                       help="on exhausted fault recovery: shed the batch or "
+                            "serve stale-cache answers (default shed)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="trace/model RNG seed (default 0, deterministic)")
+    serve.add_argument("--scale", type=float, default=1.0,
+                       help="dataset logical-scale multiplier (default 1.0)")
+    serve.add_argument("--faults", default=None, metavar="PLAN",
+                       help="JSON fault plan for degraded-mode injection "
+                            "(schema in docs/resilience.md)")
+    serve.add_argument("--out", default=None, metavar="FILE",
+                       help="write the repro.serve/1 JSON report here "
+                            "(byte-identical across same-seed runs)")
+    serve.add_argument("--reference-kernels", action="store_true",
+                       help="run on the naive reference kernel schedule "
+                            "(charged virtual cost is identical)")
+
     fullbatch = sub.add_parser("fullbatch", help="Figures 22-24: full-batch SAGE")
     fullbatch.add_argument("--framework", choices=FRAMEWORKS, default="dglite")
     fullbatch.add_argument("--dataset", type=_dataset_args, default=["ppi"])
@@ -174,7 +222,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = bench_sub.add_parser(
         "sweep",
         help="run the kernel/training sweep matrix and write BENCH_*.json")
-    sweep.add_argument("--area", choices=("kernels", "training", "all"),
+    sweep.add_argument("--area",
+                       choices=("kernels", "training", "serving", "all"),
                        default="all")
     sweep.add_argument("--out-dir", default=".",
                        help="directory for BENCH_<area>.json (default: repo "
@@ -187,7 +236,8 @@ def build_parser() -> argparse.ArgumentParser:
         "gate",
         help="re-run the baseline's sweep cells and fail on regression "
              "beyond the noise envelope")
-    gate.add_argument("--area", choices=("kernels", "training", "all"),
+    gate.add_argument("--area",
+                      choices=("kernels", "training", "serving", "all"),
                       default="all")
     gate.add_argument("--baseline-dir", default=".",
                       help="directory holding the committed BENCH_*.json")
@@ -317,6 +367,76 @@ def cmd_train(args: argparse.Namespace) -> None:
             print("  telemetry:")
             for name in sorted(result.artifacts):
                 print(f"    {name:<10}{result.artifacts[name]}")
+
+
+def _parse_rates(value: str) -> List[float]:
+    try:
+        rates = [float(part) for part in value.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"repro serve: invalid rate list {value!r}")
+    if not rates or any(r <= 0 for r in rates):
+        raise SystemExit("repro serve: need at least one positive rate")
+    return rates
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import BenchmarkError, FaultPlanError
+    from repro.serving import (
+        ServeConfig,
+        build_serve_report,
+        format_serve_table,
+        run_serving_curve,
+        write_serve_report,
+    )
+
+    fault_plan = args.faults
+    if fault_plan is not None:
+        from repro.resilience import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_file(fault_plan)
+        except FaultPlanError as exc:
+            raise SystemExit(f"repro serve: {exc}")
+    rates = _parse_rates(args.rates)
+    frameworks = (list(FRAMEWORKS) if args.framework == "both"
+                  else [args.framework])
+    try:
+        base = ServeConfig(
+            framework=frameworks[0],
+            dataset=args.dataset,
+            rate=rates[0],
+            num_requests=args.requests,
+            trace=args.trace,
+            nodes_per_request=args.nodes_per_request,
+            budget_s=args.budget_ms / 1000.0,
+            max_batch=args.max_batch,
+            placement=args.placement,
+            pipeline=args.pipeline,
+            cache_fraction=args.cache_fraction,
+            cache_policy=args.cache_policy,
+            degraded_mode=args.degraded,
+            seed=args.seed,
+            dataset_scale=args.scale,
+        )
+    except BenchmarkError as exc:
+        raise SystemExit(f"repro serve: {exc}")
+    print(f"serve: {args.dataset} {args.trace} trace, "
+          f"{args.requests} requests/window, budget {args.budget_ms:g} ms, "
+          f"max batch {args.max_batch}, seed {args.seed}")
+    results = run_serving_curve(base, rates, frameworks,
+                                fault_plan=fault_plan, progress=print)
+    report = build_serve_report(base, results)
+    print()
+    print(format_serve_table(report))
+    shed = sum(r.shed for r in results)
+    stale = sum(r.stale for r in results)
+    if shed or stale:
+        print(f"degraded service: {shed} request(s) shed, "
+              f"{stale} served stale")
+    if args.out:
+        path = write_serve_report(args.out, report)
+        print(f"wrote {path}")
+    return 0
 
 
 def cmd_fullbatch(args: argparse.Namespace) -> None:
@@ -586,8 +706,31 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_parsed_args(parser: argparse.ArgumentParser,
+                          args: argparse.Namespace) -> None:
+    """Cross-flag checks that argparse cannot express per-argument.
+
+    ``--pipeline depth-N`` is CPU-side sampling overlap: combining it
+    with an on-device sampling placement is rejected here, at parse
+    time, as a hard argument error (exit code 2) — the same shared
+    validation path (:func:`repro.datapipe.config.
+    validate_pipeline_placement`) runs again inside ``TrainConfig`` and
+    ``ServeConfig`` for programmatic callers.
+    """
+    if args.command in ("train", "serve"):
+        from repro.datapipe.config import validate_pipeline_placement
+        from repro.errors import BenchmarkError
+
+        try:
+            validate_pipeline_placement(args.pipeline, args.placement)
+        except BenchmarkError as exc:
+            parser.error(str(exc))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate_parsed_args(parser, args)
     if args.command == "datasets":
         cmd_datasets()
     elif args.command == "loader":
@@ -598,6 +741,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         cmd_conv(args.dataset, args.kind, args.device)
     elif args.command == "train":
         cmd_train(args)
+    elif args.command == "serve":
+        return cmd_serve(args)
     elif args.command == "fullbatch":
         cmd_fullbatch(args)
     elif args.command == "observations":

@@ -39,3 +39,28 @@ def parse_pipeline(spec: str) -> PipelineConfig:
     raise BenchmarkError(
         f"unknown pipeline spec {spec!r}; expected 'off' or 'depth-N' (N >= 1)"
     )
+
+
+#: Placements that sample on-device: the datapipe pipelines *CPU-side*
+#: sampling, so combining them with ``depth-N`` is a contradiction.
+ON_DEVICE_PLACEMENTS = ("gpu", "uvagpu")
+
+
+def validate_pipeline_placement(pipeline: str, placement: str) -> PipelineConfig:
+    """The single pipeline × placement validation path (CLI, trainer, serve).
+
+    Parses the ``pipeline`` spec and rejects ``depth-N`` under the
+    on-device sampling placements (``gpu``/``uvagpu``) — those sample on
+    the GPU already, so there is no CPU-side stage to pipeline.  The CLI
+    calls this at argument-parse time so the contradiction is a hard
+    argument error, not a mid-run traceback; :class:`TrainConfig` and
+    ``repro serve`` reuse the same call as a backstop.
+    """
+    config = parse_pipeline(pipeline)
+    if config.enabled and placement in ON_DEVICE_PLACEMENTS:
+        raise BenchmarkError(
+            f"--pipeline {pipeline} cannot be combined with "
+            f"--placement {placement}: the datapipe pipelines CPU-side "
+            "sampling; GPU/UVA placements sample on-device already"
+        )
+    return config

@@ -50,7 +50,13 @@ class GpuFeatureCache:
         count = max(1, int(round(fraction * graph.num_nodes)))
         if policy == "degree":
             degrees = graph.adj.degrees()
-            cached = np.argsort(degrees)[::-1][:count].astype(INDEX_DTYPE)
+            # Stable index-tiebroken hot set: among equal-degree nodes the
+            # lower node id wins, so the cached set is a deterministic
+            # contract (argsort on descending degrees leaves tie order
+            # unspecified).  lexsort orders by the *last* key first.
+            order = np.lexsort((np.arange(degrees.size),
+                                -degrees.astype(np.int64)))
+            cached = order[:count].astype(INDEX_DTYPE)
         else:
             rng = np.random.default_rng(seed)
             cached = rng.choice(graph.num_nodes, size=count,

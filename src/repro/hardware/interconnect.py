@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.errors import InjectedFault
+from repro.errors import DeviceError, InjectedFault
 from repro.hardware.specs import LinkSpec
 from repro.resilience import runtime as resilience
 from repro.simtime import VirtualClock
@@ -106,9 +106,21 @@ class Interconnect:
             registry.histogram("pcie.transfer_bytes", direction=direction).observe(nbytes)
 
     def uva_read_time(self, nbytes: float) -> float:
-        """Duration for the GPU to read ``nbytes`` from pinned host memory."""
+        """Duration for the GPU to read ``nbytes`` from pinned host memory.
+
+        Asking a non-UVA link is a configuration fault and raises
+        :class:`~repro.errors.DeviceError` (like every other hardware
+        misuse), so resilience callers can tell it apart from injected
+        faults.  Zero-byte reads are free: no transaction is issued, so
+        the per-read latency is not charged.
+        """
+        if nbytes < 0:
+            raise ValueError("negative read size")
         if self.spec.uva_bandwidth <= 0:
-            raise ValueError(f"{self.spec.name} does not support UVA zero-copy")
+            raise DeviceError(
+                f"{self.spec.name} does not support UVA zero-copy")
+        if nbytes == 0:
+            return 0.0
         return self.spec.latency + nbytes / self.spec.uva_bandwidth
 
     def record_uva(self, nbytes: float) -> None:

@@ -198,3 +198,25 @@ def _chunk_block(graph, rows: np.ndarray, device) -> SparseAdj:
 def block_src_nodes(block: SparseAdj, rows: np.ndarray) -> np.ndarray:
     """Global feature rows needed by a chunk block."""
     return block.src_nodes
+
+
+def batch_blocks(graph, nodes: np.ndarray, num_layers: int, device) -> list:
+    """The L-hop block stack for exact (sampling-free) batch inference.
+
+    Walks ``num_layers`` hops of in-edges outward from ``nodes`` with
+    :func:`_chunk_block`, innermost layer first — ``blocks[0]`` consumes
+    raw features of ``blocks[0].src_nodes`` and ``blocks[-1]`` emits one
+    output row per requested node.  Layer ``l``'s output rows are exactly
+    layer ``l+1``'s source rows, so the stack feeds a layered model
+    directly.  The online serving engine scores micro-batches this way:
+    no neighbor sampling, hence no prediction bias per request.
+    """
+    nodes = np.asarray(nodes, dtype=INDEX_DTYPE)
+    blocks = []
+    rows = nodes
+    for _ in range(num_layers):
+        block = _chunk_block(graph, rows, device)
+        blocks.append(block)
+        rows = block.src_nodes
+    blocks.reverse()
+    return blocks

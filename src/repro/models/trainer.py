@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.datapipe.config import parse_pipeline
+from repro.datapipe.config import parse_pipeline, validate_pipeline_placement
 from repro.errors import BenchmarkError, RecoveryExhausted
 from repro.frameworks.base import Framework, FrameworkBatch, FrameworkGraph
 from repro.hardware.machine import Machine
@@ -71,17 +71,14 @@ class TrainConfig:
             raise BenchmarkError(
                 "sampling workers apply to CPU-side samplers only"
             )
-        depth = parse_pipeline(self.pipeline).depth  # validates the spec
-        if depth > 0:
-            if self.prefetch:
-                raise BenchmarkError(
-                    "pipeline subsumes prefetch; use one or the other"
-                )
-            if self.samples_on_gpu:
-                raise BenchmarkError(
-                    "the datapipe pipelines CPU-side sampling; GPU/UVA "
-                    "placements sample on-device already"
-                )
+        # Shared validation path (also run at CLI parse time and by
+        # ``repro serve``): parses the spec and rejects depth-N under
+        # the on-device sampling placements.
+        depth = validate_pipeline_placement(self.pipeline, self.placement).depth
+        if depth > 0 and self.prefetch:
+            raise BenchmarkError(
+                "pipeline subsumes prefetch; use one or the other"
+            )
         if self.checkpoint_every < 0:
             raise BenchmarkError("checkpoint_every must be >= 0")
         if self.checkpoint_every and not self.checkpoint_path:

@@ -1,0 +1,84 @@
+"""Latency-budget micro-batching: coalesce requests, bound the wait.
+
+The dynamic micro-batcher trades per-request latency for per-batch
+efficiency under one hard contract: **no request waits in the batcher
+longer than the latency budget**.  A batch opens when its first request
+arrives and closes at whichever comes first:
+
+* **max-size** — the ``max_size``-th request arrives; the batch closes
+  the instant it fills (``formed_at`` is that request's arrival), or
+* **deadline** — the opener's ``arrival + max_wait`` passes; the batch
+  closes with however many requests have arrived by then.
+
+Because every member arrived at or after the opener, the batching delay
+``formed_at - request.arrival`` is at most ``max_wait`` for every
+request — the invariant the serving tests assert on the virtual clock.
+Batching is a pure function of arrival times (open-loop): server
+backpressure shows up downstream as queueing delay on the scheduler
+lanes, never as extra batching delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.serving.workload import Request
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One closed micro-batch, ready to dispatch at ``formed_at``."""
+
+    batch_id: int
+    requests: Tuple[Request, ...]
+    formed_at: float  # close time: dispatch may start here, never before
+    closed_by: str  # "size" | "deadline"
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def nodes(self) -> np.ndarray:
+        """Deduplicated, sorted union of the member requests' target nodes."""
+        return np.unique(np.concatenate([r.nodes for r in self.requests]))
+
+    def max_wait(self) -> float:
+        """The longest batching delay any member request experienced."""
+        return max(self.formed_at - r.arrival for r in self.requests)
+
+
+def form_batches(requests: Sequence[Request], max_size: int,
+                 max_wait: float) -> List[Batch]:
+    """Partition an arrival-ordered trace into latency-budgeted batches."""
+    if max_size < 1:
+        raise BenchmarkError("max batch size must be >= 1")
+    if max_wait < 0:
+        raise BenchmarkError("latency budget (max_wait) must be >= 0")
+    arrivals = [r.arrival for r in requests]
+    if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+        raise BenchmarkError("requests must be ordered by arrival time")
+
+    batches: List[Batch] = []
+    i = 0
+    while i < len(requests):
+        deadline = requests[i].arrival + max_wait
+        j = i + 1
+        while (j < len(requests) and j - i < max_size
+               and requests[j].arrival <= deadline):
+            j += 1
+        members = tuple(requests[i:j])
+        if len(members) == max_size:
+            # Filled: closes the moment the last member arrives.
+            formed_at, closed_by = members[-1].arrival, "size"
+        else:
+            # The batcher cannot see the future: it holds the batch open
+            # until the deadline even when no further request will come.
+            formed_at, closed_by = deadline, "deadline"
+        batches.append(Batch(len(batches), members, formed_at, closed_by))
+        i = j
+    return batches

@@ -1,0 +1,167 @@
+"""The versioned ``repro.serve/1`` serving-report schema.
+
+One report records one serving study: the workload/batching
+configuration plus, per framework × offered load, the latency tail
+(p50/p95/p99 by exact nearest-rank), achieved throughput, request
+outcomes, cache behaviour, and phase attribution.  The writer is
+deterministic — sorted keys, fixed indentation, atomic replace, and
+**no volatile provenance** (no timestamps, no git state) — so two runs
+with the same seed produce byte-identical files; the CI serve-smoke job
+``cmp``'s them to hold that line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.serving.engine import ServeConfig, ServeResult
+
+SERVE_SCHEMA = "repro.serve/1"
+
+_CONFIG_KEYS = (
+    "dataset", "model", "trace", "num_requests", "nodes_per_request",
+    "budget_s", "max_batch", "placement", "pipeline", "cache_fraction",
+    "cache_policy", "degraded_mode", "seed", "dataset_scale",
+)
+_SUMMARY_KEYS = ("p50", "p95", "p99", "mean", "max")
+_RESULT_NUMERIC_KEYS = (
+    "offered_load", "throughput", "completed", "shed", "stale",
+    "cache_hits", "cache_misses", "hit_rate", "makespan_s",
+    "max_batch_wait_s", "budget_violations", "energy_j",
+)
+
+
+def build_serve_report(config: ServeConfig,
+                       results: List[ServeResult]) -> dict:
+    """Assemble one report from measured serving windows.
+
+    The shared workload/batching knobs come from ``config``; each entry
+    carries its own framework and offered load (the sweep axes).  Entries
+    are sorted by ``(framework, offered_load)`` so the on-disk order is
+    independent of execution order.
+    """
+    entries = []
+    for result in sorted(results,
+                         key=lambda r: (r.config.framework, r.config.rate)):
+        summary = result.latency_summary()
+        entries.append({
+            "framework": result.config.framework,
+            "label": result.label,
+            "offered_load": float(result.config.rate),
+            "throughput": result.throughput,
+            "latency": {k: float(summary[k]) for k in _SUMMARY_KEYS},
+            "completed": result.completed,
+            "shed": result.shed,
+            "stale": result.stale,
+            "batches": {
+                "count": len(result.batch_sizes),
+                "mean_size": (sum(result.batch_sizes)
+                              / len(result.batch_sizes)
+                              if result.batch_sizes else 0.0),
+                "closed_by": dict(sorted(result.batch_closes.items())),
+            },
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+            "hit_rate": result.hit_rate,
+            "makespan_s": result.makespan,
+            "max_batch_wait_s": result.max_batch_wait,
+            "budget_violations": result.budget_violations,
+            "energy_j": result.total_energy,
+            "phases": {k: float(v)
+                       for k, v in sorted(result.phases.items())},
+        })
+    return {
+        "schema": SERVE_SCHEMA,
+        "config": {key: getattr(config, key) for key in _CONFIG_KEYS},
+        "results": entries,
+    }
+
+
+def write_serve_report(path: Union[str, Path], report: dict) -> Path:
+    """Validate then atomically write one report (deterministic bytes)."""
+    from repro.bench.artifacts import atomic_write_text
+
+    problems = validate_serve_payload(report)
+    if problems:
+        raise ValueError(
+            f"refusing to write invalid serve report: {problems[0]}"
+            + (f" (+{len(problems) - 1} more)" if len(problems) > 1 else ""))
+    return atomic_write_text(
+        path, json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def load_serve_report(path: Union[str, Path]) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def validate_serve_payload(report: object) -> List[str]:
+    """Schema-gate one report; returns human-readable problems."""
+    problems: List[str] = []
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    if report.get("schema") != SERVE_SCHEMA:
+        problems.append(f"unknown schema {report.get('schema')!r} "
+                        f"(expected {SERVE_SCHEMA})")
+    config = report.get("config")
+    if not isinstance(config, dict):
+        problems.append("config must be an object")
+    else:
+        for key in _CONFIG_KEYS:
+            if key not in config:
+                problems.append(f"config missing {key!r}")
+    results = report.get("results")
+    if not isinstance(results, list) or not results:
+        return problems + ["results must be a non-empty list"]
+    for index, entry in enumerate(results):
+        for problem in _validate_entry(entry):
+            problems.append(f"result #{index}: {problem}")
+    keys = [(e.get("framework"), e.get("offered_load"))
+            for e in results if isinstance(e, dict)]
+    if keys != sorted(keys, key=lambda k: (str(k[0]), k[1] or 0.0)):
+        problems.append("results are not sorted by (framework, offered_load)")
+    return problems
+
+
+def _validate_entry(entry: object) -> List[str]:
+    if not isinstance(entry, dict):
+        return ["entry is not an object"]
+    problems = []
+    if not isinstance(entry.get("framework"), str) or not entry.get("framework"):
+        problems.append("missing framework")
+    for key in _RESULT_NUMERIC_KEYS:
+        if not isinstance(entry.get(key), (int, float)):
+            problems.append(f"{key} missing or non-numeric")
+    latency = entry.get("latency")
+    if not isinstance(latency, dict):
+        problems.append("latency must be an object")
+    else:
+        for key in _SUMMARY_KEYS:
+            if not isinstance(latency.get(key), (int, float)):
+                problems.append(f"latency.{key} missing or non-numeric")
+    for section in ("phases",):
+        mapping = entry.get(section)
+        if not isinstance(mapping, dict) or not all(
+                isinstance(v, (int, float)) for v in mapping.values()):
+            problems.append(f"{section} must map names to numbers")
+    batches = entry.get("batches")
+    if not isinstance(batches, dict) \
+            or not isinstance(batches.get("count"), int) \
+            or not isinstance(batches.get("closed_by"), dict):
+        problems.append("batches must carry count and closed_by")
+    return problems
+
+
+def format_serve_table(report: dict) -> str:
+    """Human-readable summary table for the CLI."""
+    lines = [f"{'cell':<34} {'p50(ms)':>9} {'p95(ms)':>9} {'p99(ms)':>9} "
+             f"{'rps':>8} {'hit%':>6} {'shed':>5}"]
+    for entry in report["results"]:
+        lat = entry["latency"]
+        lines.append(
+            f"{entry['label']:<34} {lat['p50'] * 1e3:>9.3f} "
+            f"{lat['p95'] * 1e3:>9.3f} {lat['p99'] * 1e3:>9.3f} "
+            f"{entry['throughput']:>8.1f} {entry['hit_rate'] * 100:>6.1f} "
+            f"{entry['shed']:>5d}")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Seeded request generation for the online serving simulation.
+
+Requests are *open-loop*: arrival times are drawn up front from a seeded
+process and never react to server backpressure, so offered load is an
+independent variable (the closed-loop alternative hides queueing
+collapse — see the throughput-vs-offered-load curves the latency
+accountant reports).  Three trace shapes cover the scenarios the
+serving layer must survive:
+
+* ``poisson`` — stationary Poisson arrivals at ``rate`` requests/s.
+* ``bursty`` — a two-state modulated Poisson process: windows of
+  ``burst_width`` consecutive requests alternate between a hot rate
+  (``rate * burst_factor``) and a cold rate (``rate / burst_factor``),
+  keeping the long-run mean near ``rate`` while stressing the
+  micro-batcher's deadline path during lulls and its max-size path
+  during bursts.
+* ``diurnal`` — a sinusoidally rate-modulated process (period
+  ``diurnal_period`` seconds, relative amplitude ``diurnal_amplitude``):
+  the next inter-arrival gap is drawn at the instantaneous rate, the
+  standard step approximation of an inhomogeneous Poisson process.
+
+Every draw comes from one ``np.random.default_rng(seed)``, so a trace
+is a pure function of its parameters — the foundation of the serving
+report's byte-identical same-seed guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.graph.formats import INDEX_DTYPE
+
+TRACE_KINDS = ("poisson", "bursty", "diurnal")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One node-inference request: score ``nodes`` as of ``arrival``."""
+
+    request_id: int
+    arrival: float  # seconds on the virtual clock (trace-relative)
+    nodes: np.ndarray  # global node ids to produce logits for
+
+    def shifted(self, offset: float) -> "Request":
+        """The same request with its arrival moved by ``offset`` seconds."""
+        return Request(self.request_id, self.arrival + offset, self.nodes)
+
+
+def generate_trace(
+    kind: str,
+    num_requests: int,
+    rate: float,
+    num_nodes: int,
+    seed: int = 0,
+    nodes_per_request: int = 1,
+    burst_factor: float = 4.0,
+    burst_width: int = 8,
+    diurnal_period: float = 1.0,
+    diurnal_amplitude: float = 0.8,
+) -> List[Request]:
+    """Draw one seeded open-loop request trace.
+
+    ``rate`` is the offered load in requests per *virtual* second;
+    ``num_nodes`` bounds the node ids requests may ask for (requests
+    sample target nodes uniformly — serving popularity skew comes from
+    the graph structure via the degree-ordered feature cache, not from
+    the workload).
+    """
+    if kind not in TRACE_KINDS:
+        raise BenchmarkError(
+            f"unknown trace kind {kind!r}; expected one of {TRACE_KINDS}")
+    if num_requests < 1:
+        raise BenchmarkError("num_requests must be >= 1")
+    if rate <= 0:
+        raise BenchmarkError("offered rate must be > 0 requests/s")
+    if num_nodes < 1:
+        raise BenchmarkError("num_nodes must be >= 1")
+    if nodes_per_request < 1:
+        raise BenchmarkError("nodes_per_request must be >= 1")
+    if burst_factor < 1.0:
+        raise BenchmarkError("burst_factor must be >= 1")
+    if burst_width < 1:
+        raise BenchmarkError("burst_width must be >= 1")
+    if diurnal_period <= 0 or not (0.0 <= diurnal_amplitude < 1.0):
+        raise BenchmarkError("diurnal period must be > 0 and amplitude in [0, 1)")
+
+    rng = np.random.default_rng(seed)
+    unit_gaps = rng.exponential(1.0, size=num_requests)
+
+    if kind == "poisson":
+        arrivals = np.cumsum(unit_gaps / rate)
+    elif kind == "bursty":
+        windows = np.arange(num_requests) // burst_width
+        rates = np.where(windows % 2 == 0, rate * burst_factor,
+                         rate / burst_factor)
+        arrivals = np.cumsum(unit_gaps / rates)
+    else:  # diurnal: step through the sinusoidal instantaneous rate
+        arrivals = np.empty(num_requests)
+        t = 0.0
+        omega = 2.0 * np.pi / diurnal_period
+        for i in range(num_requests):
+            instant = rate * (1.0 + diurnal_amplitude * np.sin(omega * t))
+            t += unit_gaps[i] / instant
+            arrivals[i] = t
+
+    node_draws = rng.integers(0, num_nodes,
+                              size=(num_requests, nodes_per_request))
+    return [
+        Request(request_id=i, arrival=float(arrivals[i]),
+                nodes=node_draws[i].astype(INDEX_DTYPE))
+        for i in range(num_requests)
+    ]

@@ -132,3 +132,71 @@ class TestTrainerIntegration:
             MiniBatchTrainer(fw, fgraph, sampler, net,
                              TrainConfig(placement="cpugpu", prefetch=True),
                              feature_cache=cache)
+
+
+class TestDeterminism:
+    """Regression tests for the stable degree-policy selection order.
+
+    np.argsort on -degrees is an unstable sort: nodes with equal degree
+    could land in the cache or not depending on partition order, which
+    made `cached_nodes` (and every downstream hit/miss count) vary
+    between constructions.  The policy now tie-breaks on node id via
+    np.lexsort.
+    """
+
+    def test_degree_policy_identical_across_constructions(self, fgraph):
+        selections = [
+            GpuFeatureCache(fgraph, fraction=0.2, policy="degree").cached_nodes
+            for _ in range(3)
+        ]
+        assert np.array_equal(selections[0], selections[1])
+        assert np.array_equal(selections[1], selections[2])
+
+    def test_degree_ties_break_toward_lower_node_id(self, fgraph):
+        cache = GpuFeatureCache(fgraph, fraction=0.2, policy="degree")
+        degrees = fgraph.graph.adj.degrees()
+        cached = set(cache.cached_nodes.tolist())
+        boundary = degrees[cache.cached_nodes].min()
+        # Among boundary-degree nodes, the cached ones must be exactly
+        # the lowest-id prefix: no higher id in, lower id out.
+        tied = np.flatnonzero(degrees == boundary)
+        tied_cached = sorted(n for n in tied.tolist() if n in cached)
+        assert tied_cached == tied.tolist()[:len(tied_cached)]
+
+    @pytest.mark.parametrize("policy", ("degree", "random"))
+    def test_hits_plus_misses_is_total(self, fgraph, policy, rng):
+        """Property: record() partitions every probe into hits + misses."""
+        cache = GpuFeatureCache(fgraph, fraction=0.3, policy=policy, seed=0)
+        total = 0
+        for _ in range(20):
+            nodes = rng.integers(0, fgraph.num_nodes,
+                                 size=int(rng.integers(1, 200)))
+            mask = cache.hit_mask(nodes)
+            before = (cache.hits, cache.misses)
+            recorded = cache.record(nodes)
+            assert np.array_equal(mask, recorded)
+            assert cache.hits - before[0] == int(mask.sum())
+            assert cache.misses - before[1] == int((~mask).sum())
+            total += nodes.size
+        assert cache.hits + cache.misses == total
+
+    def test_counters_byte_identical_in_prometheus_text(self):
+        """Two same-seed runs must export identical feature_cache lines."""
+        from repro.telemetry.runtime import session as telemetry_session
+
+        def one_run():
+            machine = paper_testbed()
+            fgraph = get_framework("dglite").load("ppi", machine, scale=0.3)
+            with telemetry_session(machine.clock) as sess:
+                cache = GpuFeatureCache(fgraph, fraction=0.3,
+                                        policy="degree", seed=0)
+                sampler = fgraph.framework.neighbor_sampler(fgraph, seed=0)
+                for batch in list(sampler.epoch())[:3]:
+                    cache.record(batch.input_nodes)
+                text = sess.metrics.prometheus_text()
+            return "\n".join(line for line in text.splitlines()
+                             if "feature_cache" in line)
+
+        first, second = one_run(), one_run()
+        assert "feature_cache" in first
+        assert first.encode() == second.encode()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import DeviceError
 from repro.hardware.interconnect import Interconnect
 from repro.hardware.specs import LinkSpec, PAPER_PCIE
 from repro.simtime import VirtualClock
@@ -48,8 +49,19 @@ class TestUva:
         assert link.counters.bytes_uva == pytest.approx(1e6)
         assert link.clock.now == 0.0
 
-    def test_uva_unsupported_link_raises(self):
+    def test_uva_unsupported_link_raises_device_error(self):
         spec = LinkSpec("nouva", bandwidth=1e9, latency=1e-6, uva_bandwidth=0.0)
         link = Interconnect(spec, VirtualClock())
-        with pytest.raises(ValueError):
+        with pytest.raises(DeviceError):
             link.uva_read_time(100)
+        # Configuration misuse, even for a free (zero-byte) read.
+        with pytest.raises(DeviceError):
+            link.uva_read_time(0)
+
+    def test_uva_zero_byte_read_is_free(self, link):
+        assert link.uva_read_time(0) == 0.0
+        assert link.uva_read_time(1) > 0.0
+
+    def test_uva_negative_read_raises(self, link):
+        with pytest.raises(ValueError):
+            link.uva_read_time(-1)
